@@ -1,0 +1,171 @@
+// Command magic-bench regenerates the paper's evaluation tables and
+// figures on the synthetic corpora (see DESIGN.md for the per-experiment
+// index). Each experiment prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	magic-bench -exp table3                  # one experiment
+//	magic-bench -exp all -samples 360 -epochs 20 -folds 5
+//
+// Experiments: fig7, fig8, table2, table3 (=fig9), table4, table5 (=fig10),
+// fig11, overhead, ablation-heads, ablation-attrs, robustness, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "magic-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("magic-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id (fig7, fig8, table2, table3, table4, table5, fig9, fig10, fig11, overhead, ablation-heads, ablation-attrs, all)")
+	samples := fs.Int("samples", 0, "corpus size (0 = per-experiment default)")
+	epochs := fs.Int("epochs", 0, "training epochs (0 = default 20)")
+	folds := fs.Int("folds", 0, "cross-validation folds (0 = default 5)")
+	seed := fs.Int64("seed", 1, "random seed")
+	full := fs.Bool("full", false, "table2: sweep the full 208-setting paper grid")
+	quiet := fs.Bool("quiet", false, "suppress progress logs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{Samples: *samples, Epochs: *epochs, Folds: *folds, Seed: *seed}
+	if !*quiet {
+		opts.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "  … "+format+"\n", a...)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"fig7", "fig8", "table3", "table4", "table5", "fig11", "table2", "overhead", "ablation-heads", "ablation-attrs", "robustness"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := runOne(id, opts, *full); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runOne(id string, opts experiments.Options, full bool) error {
+	switch strings.ToLower(id) {
+	case "fig7":
+		dist, err := experiments.Figure7(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatDistribution("Figure 7: Malware Family Distribution in MSKCFG-style Dataset", dist))
+
+	case "fig8":
+		dist, err := experiments.Figure8(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatDistribution("Figure 8: Class Distribution in YANCFG-style Dataset", dist))
+
+	case "table3", "fig9":
+		cv, err := experiments.Table3(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table III / Figure 9: MAGIC cross-validation scores on the MSKCFG-style dataset")
+		fmt.Print(cv.Mean.Table())
+		fmt.Printf("fold-accuracy std: %.4f\n", cv.StdAccuracy())
+
+	case "table4":
+		rows, err := experiments.Table4(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table IV: Cross-validation metric comparison on the MSKCFG-style dataset")
+		fmt.Print(experiments.FormatTable4(rows))
+
+	case "table5", "fig10":
+		cv, err := experiments.Table5(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table V / Figure 10: MAGIC cross-validation scores on the YANCFG-style dataset")
+		fmt.Print(cv.Mean.Table())
+		fmt.Printf("fold-accuracy std: %.4f\n", cv.StdAccuracy())
+
+	case "fig11":
+		rows, magic, err := experiments.Figure11(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table V / Figure 10 (from the same run): MAGIC cross-validation scores on the YANCFG-style dataset")
+		fmt.Print(magic.Mean.Table())
+		fmt.Println()
+		fmt.Println("Figure 11: F1 comparison between MAGIC and ESVC on the YANCFG-style dataset")
+		fmt.Print(experiments.FormatFigure11(rows))
+
+	case "table2":
+		res, err := experiments.Table2(opts, full)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table II: hyperparameter search (best models first)")
+		fmt.Print(experiments.FormatTable2(res, 10))
+
+	case "overhead":
+		oh, err := experiments.MeasureOverhead(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Section V-E: execution overhead")
+		fmt.Printf("  ACFG construction:   %v per instance\n", oh.ACFGBuild.Round(time.Microsecond))
+		fmt.Printf("  training:            %v per instance per epoch\n", oh.TrainPerInstance.Round(time.Microsecond))
+		fmt.Printf("  prediction:          %v per instance\n", oh.PredPerInstance.Round(time.Microsecond))
+
+	case "ablation-heads":
+		rows, err := experiments.AblateHeads(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: pooling/head variants on the MSKCFG-style dataset")
+		fmt.Print(experiments.FormatAblation(rows))
+
+	case "robustness":
+		rows, err := experiments.ObfuscationRobustness(opts, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Extension: accuracy under metamorphic junk-insertion obfuscation of test samples")
+		fmt.Println("(a) clean training")
+		fmt.Print(experiments.FormatRobustness(rows))
+		augRows, err := experiments.ObfuscationRobustnessAugmented(opts, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("(b) obfuscation-augmented training")
+		fmt.Print(experiments.FormatRobustness(augRows))
+
+	case "ablation-attrs":
+		rows, err := experiments.AblateAttributes(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: Table I attribute subsets on the MSKCFG-style dataset")
+		fmt.Print(experiments.FormatAblation(rows))
+
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

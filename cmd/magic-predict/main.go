@@ -1,0 +1,106 @@
+// Command magic-predict loads a trained MAGIC model and classifies malware
+// samples — the prediction mode of Section IV-C. Inputs are either ACFG
+// JSON files produced by acfg-gen or raw .asm disassembly listings (which
+// are pushed through the CFG pipeline first).
+//
+// Usage:
+//
+//	magic-predict -model magic-model.json [-families a,b,c] sample.acfg.json malware.asm ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/acfg"
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "magic-predict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("magic-predict", flag.ContinueOnError)
+	modelPath := fs.String("model", "magic-model.json", "trained model path")
+	families := fs.String("families", "", "comma-separated family names (defaults to class indices)")
+	topK := fs.Int("top", 3, "number of top families to print per sample")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("no input files (usage: magic-predict -model m.json sample.acfg.json ...)")
+	}
+
+	m, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	var names []string
+	if *families != "" {
+		names = strings.Split(*families, ",")
+	}
+
+	for _, file := range files {
+		a, err := loadSample(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "magic-predict: %s: %v\n", file, err)
+			continue
+		}
+		probs := m.Predict(a)
+		fmt.Printf("%s (%d blocks):\n", file, a.NumVertices())
+		for rank, c := range topClasses(probs, *topK) {
+			name := fmt.Sprintf("class %d", c)
+			if c < len(names) {
+				name = names[c]
+			}
+			fmt.Printf("  %d. %-20s %6.2f%%\n", rank+1, name, 100*probs[c])
+		}
+	}
+	return nil
+}
+
+func loadSample(path string) (*acfg.ACFG, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".asm") {
+		prog, err := asm.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		return acfg.FromCFG(cfg.Build(prog)), nil
+	}
+	return acfg.Read(f)
+}
+
+// topClasses returns the indices of the k largest probabilities in order.
+func topClasses(probs []float64, k int) []int {
+	idx := make([]int, len(probs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < len(idx) && i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if probs[idx[j]] > probs[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

@@ -1,0 +1,113 @@
+// Command magic-server runs MAGIC as the cloud classification service
+// envisioned in the paper's conclusion (Section VII): clients upload
+// labeled samples, trigger training, and classify unknown disassembly over
+// HTTP. See internal/service for the endpoint contract.
+//
+// Usage:
+//
+//	magic-server -addr :8080 -families Ramnit,Lollipop,...   # empty service
+//	magic-server -addr :8080 -model magic-model.json -families ...
+//	magic-server -demo                                       # preloaded demo
+//
+// Demo mode seeds the corpus with a small synthetic MSKCFG-style corpus and
+// trains an initial model before serving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/acfg"
+	"repro/internal/core"
+	"repro/internal/malgen"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "magic-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("magic-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	familiesFlag := fs.String("families", "", "comma-separated family universe")
+	modelPath := fs.String("model", "", "preload a trained model")
+	demo := fs.Bool("demo", false, "seed with a synthetic corpus and train before serving")
+	demoSamples := fs.Int("demo-samples", 150, "demo corpus size")
+	epochs := fs.Int("epochs", 12, "default training epochs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var families []string
+	if *familiesFlag != "" {
+		families = strings.Split(*familiesFlag, ",")
+	} else if *demo {
+		families = malgen.MSKCFGFamilies()
+	} else {
+		return fmt.Errorf("need -families or -demo")
+	}
+
+	cfg := core.DefaultConfig(len(families), acfg.NumAttributes)
+	cfg.Epochs = *epochs
+	srv, err := service.New(families, cfg)
+	if err != nil {
+		return err
+	}
+
+	if *modelPath != "" {
+		m, err := core.LoadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		if err := srv.LoadModel(m); err != nil {
+			return err
+		}
+		log.Printf("loaded model %s (%d parameters)", *modelPath, m.NumParameters())
+	}
+
+	if *demo {
+		if err := seedDemo(srv, *demoSamples, *epochs); err != nil {
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("MAGIC service listening on %s (%d families)", *addr, len(families))
+	return httpSrv.ListenAndServe()
+}
+
+// seedDemo populates the corpus with synthetic samples and trains an
+// initial model so the service can classify immediately.
+func seedDemo(srv *service.Server, samples, epochs int) error {
+	log.Printf("demo: generating %d synthetic samples", samples)
+	corpus, err := malgen.MSKCFG(malgen.Options{TotalSamples: samples, Seed: 1})
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(corpus.NumClasses(), acfg.NumAttributes)
+	cfg.Epochs = epochs
+	m, err := core.NewModel(cfg, corpus.Sizes())
+	if err != nil {
+		return err
+	}
+	log.Printf("demo: training %s", m)
+	start := time.Now()
+	if _, err := core.Train(m, corpus, nil, core.TrainOptions{}); err != nil {
+		return err
+	}
+	log.Printf("demo: trained in %v", time.Since(start).Round(time.Second))
+	return srv.LoadModel(m)
+}

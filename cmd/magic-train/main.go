@@ -1,0 +1,128 @@
+// Command magic-train trains a MAGIC (DGCNN) malware classifier and saves
+// it as JSON. The training corpus is either one of the built-in synthetic
+// generators (-corpus mskcfg / yancfg, see DESIGN.md "Substitutions") or a
+// dataset file previously written with the dataset JSON-lines format
+// (-corpus path/to/file.jsonl).
+//
+// Usage:
+//
+//	magic-train -corpus mskcfg -samples 360 -epochs 20 -out model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/acfg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/malgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "magic-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("magic-train", flag.ContinueOnError)
+	corpus := fs.String("corpus", "mskcfg", "training corpus: mskcfg, yancfg, or a dataset .jsonl path")
+	samples := fs.Int("samples", 360, "synthetic corpus size (ignored for file corpora)")
+	epochs := fs.Int("epochs", 20, "training epochs")
+	seed := fs.Int64("seed", 1, "random seed")
+	pooling := fs.String("pooling", "adaptive", "pooling type: adaptive or sort")
+	head := fs.String("head", "conv1d", "remaining layer for sort pooling: conv1d or weightedvertices")
+	ratio := fs.Float64("ratio", 0.64, "pooling ratio")
+	valFrac := fs.Float64("val", 0.2, "validation fraction for model selection")
+	out := fs.String("out", "magic-model.json", "output model path")
+	quiet := fs.Bool("quiet", false, "suppress per-epoch logs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d, err := loadCorpus(*corpus, *samples, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d samples, %d families %v\n", d.Len(), d.NumClasses(), d.Families)
+
+	cfg := core.DefaultConfig(d.NumClasses(), acfg.NumAttributes)
+	cfg.Epochs = *epochs
+	cfg.Seed = *seed
+	cfg.PoolingRatio = *ratio
+	switch strings.ToLower(*pooling) {
+	case "adaptive":
+		cfg.Pooling = core.AdaptivePooling
+	case "sort":
+		cfg.Pooling = core.SortPooling
+	default:
+		return fmt.Errorf("unknown pooling %q", *pooling)
+	}
+	switch strings.ToLower(*head) {
+	case "conv1d":
+		cfg.Head = core.Conv1DHead
+	case "weightedvertices":
+		cfg.Head = core.WeightedVerticesHead
+	default:
+		return fmt.Errorf("unknown head %q", *head)
+	}
+
+	train, val, err := d.TrainValSplit(*valFrac, *seed)
+	if err != nil {
+		return err
+	}
+	m, err := core.NewModel(cfg, train.Sizes())
+	if err != nil {
+		return err
+	}
+	fmt.Println("model:", m)
+
+	opts := core.TrainOptions{}
+	if !*quiet {
+		opts.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+	}
+	hist, err := core.Train(m, train, val, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("best epoch %d, validation loss %.4f\n", hist.BestEpoch, hist.BestValLoss)
+
+	met, err := eval.Score(&fitted{m}, val, d.Families)
+	if err != nil {
+		return err
+	}
+	fmt.Println(met.Table())
+
+	if err := m.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Println("model saved to", *out)
+	return nil
+}
+
+// fitted adapts an already-trained model to eval.Classifier.
+type fitted struct{ m *core.Model }
+
+func (f *fitted) Fit(*dataset.Dataset) error          { return nil }
+func (f *fitted) Predict(s *dataset.Sample) []float64 { return f.m.Predict(s.ACFG) }
+
+func loadCorpus(corpus string, samples int, seed int64) (*dataset.Dataset, error) {
+	switch strings.ToLower(corpus) {
+	case "mskcfg":
+		return malgen.MSKCFG(malgen.Options{TotalSamples: samples, Seed: seed})
+	case "yancfg":
+		return malgen.YANCFG(malgen.Options{TotalSamples: samples, Seed: seed})
+	default:
+		f, err := os.Open(corpus)
+		if err != nil {
+			return nil, fmt.Errorf("open corpus: %w", err)
+		}
+		defer f.Close()
+		return dataset.Read(f)
+	}
+}

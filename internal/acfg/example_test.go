@@ -1,0 +1,33 @@
+package acfg_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/acfg"
+	"repro/internal/asm"
+	"repro/internal/cfg"
+)
+
+// ExampleFromCFG walks the front half of the MAGIC pipeline: disassembly
+// text → program → control flow graph → Table I attributed CFG.
+func ExampleFromCFG() {
+	prog, err := asm.ParseString(`
+00401000 mov ecx, 3
+00401005 dec ecx
+00401007 cmp ecx, 0
+0040100a jnz 0x401005
+0040100c ret
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := acfg.FromCFG(cfg.Build(prog))
+	fmt.Println("vertices:", a.NumVertices())
+	fmt.Println("loop block arithmetic count:", a.Attrs.At(1, acfg.AttrArithmetic))
+	fmt.Println("loop block offspring:", a.Attrs.At(1, acfg.AttrOffspring))
+	// Output:
+	// vertices: 3
+	// loop block arithmetic count: 1
+	// loop block offspring: 2
+}

@@ -1,0 +1,181 @@
+// Package asm models x86-style disassembled programs: instructions with
+// addresses, mnemonics and operands; the operation categories that back the
+// block-level attributes of Table I; and the control-flow tagging visitor of
+// Section IV-A / Algorithm 1. It plays the role IDA Pro's textual
+// disassembly output plays in the paper — the CFG builder in internal/cfg
+// consumes Programs produced here.
+package asm
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Kind classifies an instruction's control-flow behaviour. It drives the
+// first-pass tagging visitor (Algorithm 1 and its siblings).
+type Kind int
+
+// Control-flow kinds.
+const (
+	KindOther Kind = iota + 1
+	KindConditionalJump
+	KindUnconditionalJump
+	KindCall
+	KindReturn
+	KindHalt
+)
+
+// Category classifies an instruction for the Table I attribute counters.
+type Category int
+
+// Table I attribute categories.
+const (
+	CatOther Category = iota + 1
+	CatTransfer
+	CatCall
+	CatArithmetic
+	CatCompare
+	CatMov
+	CatTermination
+	CatDataDeclaration
+)
+
+// Instruction is one line of disassembly plus the control-flow tags computed
+// by the first pass over the program (Section IV-A): start marks a block
+// leader, branchTo the destination of a jump/call, fallThrough whether
+// control continues to the next instruction, and ret whether the
+// instruction terminates a function.
+type Instruction struct {
+	Addr     uint64
+	Mnemonic string
+	Operands []string
+	Size     uint64 // bytes until the next instruction; used for fall-through
+
+	// Tags assigned by the first pass (TagProgram).
+	Start       bool
+	HasBranch   bool
+	BranchTo    uint64
+	FallThrough bool
+	Return      bool
+}
+
+// Kind returns the control-flow kind of the instruction.
+func (in *Instruction) Kind() Kind {
+	m := strings.ToLower(in.Mnemonic)
+	switch {
+	case m == "jmp":
+		return KindUnconditionalJump
+	case conditionalJumps[m]:
+		return KindConditionalJump
+	case m == "call":
+		return KindCall
+	case m == "ret" || m == "retn" || m == "retf" || m == "iret":
+		return KindReturn
+	case m == "hlt":
+		return KindHalt
+	default:
+		return KindOther
+	}
+}
+
+// Category returns the Table I attribute category of the instruction.
+func (in *Instruction) Category() Category {
+	m := strings.ToLower(in.Mnemonic)
+	switch {
+	case m == "jmp" || conditionalJumps[m] || loopOps[m]:
+		return CatTransfer
+	case m == "call":
+		return CatCall
+	case arithmeticOps[m]:
+		return CatArithmetic
+	case m == "cmp" || m == "test":
+		return CatCompare
+	case movOps[m]:
+		return CatMov
+	case m == "ret" || m == "retn" || m == "retf" || m == "iret" || m == "hlt" || m == "leave":
+		return CatTermination
+	case dataOps[m]:
+		return CatDataDeclaration
+	default:
+		return CatOther
+	}
+}
+
+// NumericConstants counts numeric literal operands — the "# Numeric
+// Constants" attribute of Table I. Memory operand displacements inside
+// brackets are not counted; plain immediates (decimal, 0x-prefixed or
+// trailing-h hex) are.
+func (in *Instruction) NumericConstants() int {
+	count := 0
+	for _, op := range in.Operands {
+		if isNumericLiteral(op) {
+			count++
+		}
+	}
+	return count
+}
+
+// DstAddr extracts the destination address of a jump or call instruction —
+// the paper's findDstAddr helper. It returns false when the operand is not
+// a resolvable address (e.g. an indirect jump through a register).
+func (in *Instruction) DstAddr() (uint64, bool) {
+	if len(in.Operands) == 0 {
+		return 0, false
+	}
+	return parseAddr(in.Operands[0])
+}
+
+var conditionalJumps = map[string]bool{
+	"je": true, "jne": true, "jz": true, "jnz": true, "jg": true, "jge": true,
+	"jl": true, "jle": true, "ja": true, "jae": true, "jb": true, "jbe": true,
+	"jo": true, "jno": true, "js": true, "jns": true, "jp": true, "jnp": true,
+	"jcxz": true, "jecxz": true,
+}
+
+var loopOps = map[string]bool{
+	"loop": true, "loope": true, "loopne": true,
+}
+
+var arithmeticOps = map[string]bool{
+	"add": true, "sub": true, "mul": true, "imul": true, "div": true,
+	"idiv": true, "inc": true, "dec": true, "neg": true, "adc": true,
+	"sbb": true, "shl": true, "shr": true, "sal": true, "sar": true,
+	"rol": true, "ror": true, "xor": true, "and": true, "or": true,
+	"not": true,
+}
+
+var movOps = map[string]bool{
+	"mov": true, "movzx": true, "movsx": true, "lea": true, "xchg": true,
+	"movs": true, "movsb": true, "movsd": true,
+}
+
+var dataOps = map[string]bool{
+	"db": true, "dw": true, "dd": true, "dq": true, "align": true,
+}
+
+// isNumericLiteral reports whether an operand is a bare numeric constant.
+func isNumericLiteral(op string) bool {
+	op = strings.TrimSpace(op)
+	if op == "" || strings.HasPrefix(op, "[") {
+		return false
+	}
+	_, ok := parseAddr(op)
+	return ok
+}
+
+// parseAddr parses decimal, 0x-prefixed hex, and IDA-style trailing-h hex
+// numbers.
+func parseAddr(s string) (uint64, bool) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	switch {
+	case strings.HasPrefix(s, "0x"):
+		v, err := strconv.ParseUint(s[2:], 16, 64)
+		return v, err == nil
+	case strings.HasSuffix(s, "h") && len(s) > 1:
+		v, err := strconv.ParseUint(s[:len(s)-1], 16, 64)
+		return v, err == nil
+	default:
+		v, err := strconv.ParseUint(s, 10, 64)
+		return v, err == nil
+	}
+}

@@ -1,0 +1,177 @@
+package asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Program is the pre-processed form of Section IV-A: a one-to-one mapping
+// from sorted addresses to instructions, P : Z⁺ → I. Instructions are held
+// in address order; ByAddr resolves an address to its index.
+type Program struct {
+	Insts  []*Instruction
+	byAddr map[uint64]int
+}
+
+// NewProgram builds a Program from instructions, sorting them by address and
+// deriving each instruction's Size from the gap to its successor (the final
+// instruction gets size 1). Duplicate addresses are rejected.
+func NewProgram(insts []*Instruction) (*Program, error) {
+	sorted := make([]*Instruction, len(insts))
+	copy(sorted, insts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Addr < sorted[j].Addr })
+	byAddr := make(map[uint64]int, len(sorted))
+	for i, in := range sorted {
+		if _, dup := byAddr[in.Addr]; dup {
+			return nil, fmt.Errorf("asm: duplicate address %#x", in.Addr)
+		}
+		byAddr[in.Addr] = i
+		if i > 0 {
+			prev := sorted[i-1]
+			prev.Size = in.Addr - prev.Addr
+		}
+	}
+	if len(sorted) > 0 {
+		sorted[len(sorted)-1].Size = 1
+	}
+	return &Program{Insts: sorted, byAddr: byAddr}, nil
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// IndexOf returns the index of the instruction at addr, or -1.
+func (p *Program) IndexOf(addr uint64) int {
+	if i, ok := p.byAddr[addr]; ok {
+		return i
+	}
+	return -1
+}
+
+// At returns the instruction at addr, or nil.
+func (p *Program) At(addr uint64) *Instruction {
+	if i := p.IndexOf(addr); i >= 0 {
+		return p.Insts[i]
+	}
+	return nil
+}
+
+// Next returns the instruction following inst in address order — the
+// paper's getNextInst(P, inst) helper — or nil at the end of the program.
+func (p *Program) Next(inst *Instruction) *Instruction {
+	i := p.IndexOf(inst.Addr)
+	if i < 0 || i+1 >= len(p.Insts) {
+		return nil
+	}
+	return p.Insts[i+1]
+}
+
+// Parse reads disassembly text into a Program. The accepted format is one
+// instruction per line:
+//
+//	00401000  push ebp
+//	00401001  mov  ebp, esp
+//	00401003  jnz  0x401010
+//
+// IDA-style section-prefixed addresses — the format of the Microsoft
+// challenge .asm files the paper consumes — are accepted too:
+//
+//	.text:00401000  push ebp
+//	.text:00401001  mov  ebp, esp
+//
+// Addresses are hexadecimal (optionally 0x-prefixed). Blank lines, lines
+// starting with ';' or '#', inline ';' comments, and label lines ("name:")
+// are skipped/stripped. Operands are comma-separated.
+func Parse(r io.Reader) (*Program, error) {
+	var insts []*Instruction
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, ";") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasSuffix(line, ":") && !strings.ContainsAny(line, " \t") {
+			continue // label line
+		}
+		inst, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", lineNo, err)
+		}
+		insts = append(insts, inst)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("asm: read: %w", err)
+	}
+	return NewProgram(insts)
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(s string) (*Program, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseLine(line string) (*Instruction, error) {
+	// Strip inline comments.
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = strings.TrimSpace(line[:i])
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("want 'ADDR MNEMONIC [operands]', got %q", line)
+	}
+	addrText := strings.ToLower(fields[0])
+	// IDA-style section prefix: ".text:00401000".
+	if i := strings.LastIndex(addrText, ":"); i >= 0 {
+		addrText = addrText[i+1:]
+	}
+	addrText = strings.TrimPrefix(addrText, "0x")
+	addr, err := strconv.ParseUint(addrText, 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad address %q: %w", fields[0], err)
+	}
+	mnemonic := strings.ToLower(fields[1])
+	var operands []string
+	if len(fields) > 2 {
+		rest := strings.Join(fields[2:], " ")
+		for _, op := range strings.Split(rest, ",") {
+			op = strings.TrimSpace(op)
+			if op != "" {
+				operands = append(operands, op)
+			}
+		}
+	}
+	return &Instruction{Addr: addr, Mnemonic: mnemonic, Operands: operands}, nil
+}
+
+// Format renders the program back to parseable text.
+func (p *Program) Format(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, in := range p.Insts {
+		if _, err := fmt.Fprintf(bw, "%08x  %s", in.Addr, in.Mnemonic); err != nil {
+			return err
+		}
+		if len(in.Operands) > 0 {
+			if _, err := fmt.Fprintf(bw, " %s", strings.Join(in.Operands, ", ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders the program as text.
+func (p *Program) String() string {
+	var sb strings.Builder
+	_ = p.Format(&sb)
+	return sb.String()
+}

@@ -1,0 +1,347 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/acfg"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/malgen"
+	"repro/internal/tensor"
+)
+
+// toyDataset builds a small learnable 3-class corpus with distinct graph
+// and attribute statistics per class.
+func toyDataset(perClass int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := dataset.New([]string{"chainy", "loopy", "bushy"})
+	for c := 0; c < 3; c++ {
+		for i := 0; i < perClass; i++ {
+			n := 8 + rng.Intn(8)
+			g := graph.NewDirected(n)
+			for v := 0; v+1 < n; v++ {
+				g.AddEdge(v, v+1)
+			}
+			switch c {
+			case 1:
+				for e := 0; e < n; e++ {
+					v := 1 + rng.Intn(n-1)
+					g.AddEdge(v, rng.Intn(v))
+				}
+			case 2:
+				for v := 1; v < n; v++ {
+					g.AddEdge(0, v)
+				}
+			}
+			attrs := tensor.New(n, acfg.NumAttributes)
+			for v := 0; v < n; v++ {
+				total := float64(2 + rng.Intn(8))
+				attrs.Set(v, acfg.AttrTotalInstructions, total)
+				attrs.Set(v, acfg.AttrInstructionsInVertex, total)
+				attrs.Set(v, acfg.AttrOffspring, float64(g.OutDegree(v)))
+				switch c {
+				case 0:
+					attrs.Set(v, acfg.AttrMov, total*0.8)
+				case 1:
+					attrs.Set(v, acfg.AttrArithmetic, total*0.8)
+				case 2:
+					attrs.Set(v, acfg.AttrCompare, total*0.8)
+				}
+			}
+			a, err := acfg.New(g, attrs)
+			if err != nil {
+				panic(err)
+			}
+			d.Add(&dataset.Sample{Name: fmt.Sprintf("%d-%d", c, i), Label: c, ACFG: a})
+		}
+	}
+	return d
+}
+
+func holdoutAccuracy(t *testing.T, clf eval.Classifier, train, test *dataset.Dataset) float64 {
+	t.Helper()
+	if err := clf.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	m, err := eval.Score(clf, test, test.Families)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Accuracy
+}
+
+func TestFeaturesShapeAndContent(t *testing.T) {
+	d := toyDataset(2, 1)
+	x := Features(d.Samples[0].ACFG)
+	if len(x) != NumFeatures {
+		t.Fatalf("feature dim = %d, want %d", len(x), NumFeatures)
+	}
+	n := d.Samples[0].ACFG.NumVertices()
+	if x[0] != float64(n) {
+		t.Fatalf("feature 0 (vertices) = %v, want %d", x[0], n)
+	}
+	if x[1] != float64(d.Samples[0].ACFG.Graph.NumEdges()) {
+		t.Fatalf("feature 1 (edges) = %v", x[1])
+	}
+	// Histogram mass equals vertex count for both histograms.
+	degSum, sizeSum := 0.0, 0.0
+	degOff := 4 + 3*acfg.NumAttributes
+	for b := 0; b < histBins; b++ {
+		degSum += x[degOff+b]
+		sizeSum += x[degOff+histBins+b]
+	}
+	if degSum != float64(n) || sizeSum != float64(n) {
+		t.Fatalf("histogram mass %v / %v, want %d", degSum, sizeSum, n)
+	}
+}
+
+func TestLogBucket(t *testing.T) {
+	tests := []struct{ v, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1 << 20, histBins - 1},
+	}
+	for _, tt := range tests {
+		if got := logBucket(tt.v); got != tt.want {
+			t.Errorf("logBucket(%d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	xs := [][]float64{{1, 10}, {3, 30}, {5, 50}}
+	s := FitStandardizer(xs)
+	sx := s.ApplyAll(xs)
+	for j := 0; j < 2; j++ {
+		mean := (sx[0][j] + sx[1][j] + sx[2][j]) / 3
+		if math.Abs(mean) > 1e-12 {
+			t.Fatalf("column %d mean %v", j, mean)
+		}
+	}
+	if FitStandardizer(nil) != nil {
+		t.Fatal("empty standardizer must be nil")
+	}
+	// Constant column does not blow up.
+	s2 := FitStandardizer([][]float64{{5}, {5}})
+	if got := s2.Apply([]float64{5})[0]; got != 0 {
+		t.Fatalf("constant column standardizes to %v", got)
+	}
+}
+
+func TestDecisionTreeLearnsXORish(t *testing.T) {
+	// Axis-aligned separable data.
+	var xs [][]float64
+	var ys []int
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		y := 0
+		if (x[0] > 0.5) != (x[1] > 0.5) {
+			y = 1
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	tree := NewDecisionTree(6, 2)
+	tree.Fit(xs, ys, 2, nil)
+	correct := 0
+	for i, x := range xs {
+		p := tree.PredictProbs(x)
+		pred := 0
+		if p[1] > p[0] {
+			pred = 1
+		}
+		if pred == ys[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xs)); acc < 0.95 {
+		t.Fatalf("tree XOR accuracy %v", acc)
+	}
+}
+
+func TestRegressionTreeFitsStep(t *testing.T) {
+	var xs [][]float64
+	var ts []float64
+	for i := 0; i < 100; i++ {
+		x := float64(i) / 100
+		xs = append(xs, []float64{x})
+		if x < 0.3 {
+			ts = append(ts, 1)
+		} else {
+			ts = append(ts, -2)
+		}
+	}
+	tree := NewRegressionTree(3, 2)
+	tree.Fit(xs, ts)
+	if v := tree.Predict([]float64{0.1}); math.Abs(v-1) > 0.01 {
+		t.Fatalf("left plateau = %v", v)
+	}
+	if v := tree.Predict([]float64{0.9}); math.Abs(v+2) > 0.01 {
+		t.Fatalf("right plateau = %v", v)
+	}
+}
+
+func TestRandomForestClassifiesToy(t *testing.T) {
+	train, test := toyDataset(20, 3), toyDataset(8, 4)
+	if acc := holdoutAccuracy(t, NewRandomForest(1), train, test); acc < 0.9 {
+		t.Fatalf("forest accuracy %v", acc)
+	}
+}
+
+func TestGradientBoostingClassifiesToy(t *testing.T) {
+	train, test := toyDataset(20, 5), toyDataset(8, 6)
+	gbt := NewGradientBoosting()
+	gbt.Rounds = 15
+	if acc := holdoutAccuracy(t, gbt, train, test); acc < 0.9 {
+		t.Fatalf("gbt accuracy %v", acc)
+	}
+}
+
+func TestGradientBoostingProbsNormalized(t *testing.T) {
+	train := toyDataset(10, 7)
+	gbt := NewGradientBoosting()
+	gbt.Rounds = 5
+	if err := gbt.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	p := gbt.Predict(train.Samples[0])
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+}
+
+func TestLinearSVMClassifiesToy(t *testing.T) {
+	train, test := toyDataset(20, 8), toyDataset(8, 9)
+	if acc := holdoutAccuracy(t, NewLinearSVM(1), train, test); acc < 0.9 {
+		t.Fatalf("svm accuracy %v", acc)
+	}
+}
+
+func TestESVCClassifiesToy(t *testing.T) {
+	train, test := toyDataset(20, 10), toyDataset(8, 11)
+	if acc := holdoutAccuracy(t, NewESVC(1), train, test); acc < 0.85 {
+		t.Fatalf("esvc accuracy %v", acc)
+	}
+}
+
+func TestESVCProbsNormalized(t *testing.T) {
+	train := toyDataset(10, 12)
+	e := NewESVC(1)
+	if err := e.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	p := e.Predict(train.Samples[0])
+	sum := 0.0
+	best := 0
+	for c, v := range p {
+		sum += v
+		if v > p[best] {
+			best = c
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+	if best != train.Samples[0].Label {
+		t.Logf("note: training sample misclassified (allowed)")
+	}
+}
+
+func TestAutoencoderGBTClassifiesToy(t *testing.T) {
+	train, test := toyDataset(20, 13), toyDataset(8, 14)
+	ae := NewAutoencoderGBT(1)
+	ae.Epochs = 15
+	if acc := holdoutAccuracy(t, ae, train, test); acc < 0.8 {
+		t.Fatalf("autoencoder+gbt accuracy %v", acc)
+	}
+}
+
+func TestAutoencoderReconstructionImproves(t *testing.T) {
+	train := toyDataset(20, 15)
+	xs, ys := FeatureMatrix(train)
+
+	short := NewAutoencoderGBT(1)
+	short.Epochs = 1
+	short.FitFeatures(xs, ys, 3)
+	long := NewAutoencoderGBT(1)
+	long.Epochs = 30
+	long.FitFeatures(xs, ys, 3)
+
+	var errShort, errLong float64
+	for _, x := range xs {
+		errShort += short.ReconstructionError(x)
+		errLong += long.ReconstructionError(x)
+	}
+	if errLong >= errShort {
+		t.Fatalf("reconstruction did not improve with training: %v -> %v", errShort, errLong)
+	}
+}
+
+func TestStrandClassifiesToy(t *testing.T) {
+	train, test := toyDataset(20, 16), toyDataset(8, 17)
+	if acc := holdoutAccuracy(t, NewStrand(), train, test); acc < 0.7 {
+		t.Fatalf("strand accuracy %v", acc)
+	}
+}
+
+func TestStrandSketchDeterministic(t *testing.T) {
+	d := toyDataset(1, 18)
+	st := NewStrand()
+	a := st.sketch(d.Samples[0].ACFG)
+	b := st.sketch(d.Samples[0].ACFG)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sketch not deterministic")
+		}
+	}
+}
+
+func TestStrandIdenticalGraphsMaxSimilarity(t *testing.T) {
+	d := toyDataset(1, 19)
+	st := NewStrand()
+	sig := st.sketch(d.Samples[0].ACFG)
+	if sim := jaccardEstimate(sig, sig); sim != 1 {
+		t.Fatalf("self similarity = %v", sim)
+	}
+	if sim := jaccardEstimate(sig, make(signature, len(sig))); sim > 0.1 {
+		t.Fatalf("similarity to empty sketch = %v", sim)
+	}
+}
+
+// TestBaselinesOnSyntheticMSKCFG is an integration check: every baseline
+// must beat random guessing comfortably on the synthetic corpus (the Table
+// IV shape requires them to be competitive, not broken).
+func TestBaselinesOnSyntheticMSKCFG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-scale test")
+	}
+	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: 140, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := d.TrainValSplit(0.25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clfs := map[string]eval.Classifier{
+		"forest": NewRandomForest(1),
+		"gbt":    NewGradientBoosting(),
+		"svm":    NewLinearSVM(1),
+		"esvc":   NewESVC(1),
+		"strand": NewStrand(),
+	}
+	for name, clf := range clfs {
+		acc := holdoutAccuracy(t, clf, train, test)
+		t.Logf("%s accuracy %.3f", name, acc)
+		if acc < 0.5 {
+			t.Errorf("%s accuracy %.3f — below sanity threshold", name, acc)
+		}
+	}
+}

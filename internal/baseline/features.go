@@ -1,0 +1,184 @@
+// Package baseline implements the comparison methods of Table IV and
+// Figure 11 from scratch: handcrafted-feature extraction, CART decision
+// trees, random forests, softmax gradient-boosted trees (the XGBoost-style
+// method of [13]), a deep-autoencoder + GBT hybrid ([9]), a Strand-style
+// MinHash sequence classifier ([15]) and the ESVC chained ensemble of
+// linear SVMs ([8]) that Figure 11 compares MAGIC against.
+//
+// Every classifier satisfies the eval.Classifier contract (Fit/Predict), so
+// the same cross-validation harness scores MAGIC and all baselines.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/acfg"
+	"repro/internal/dataset"
+)
+
+// NumFeatures is the width of the handcrafted feature vector.
+const NumFeatures = 4 + 3*acfg.NumAttributes + 2*histBins
+
+const histBins = 8
+
+// Features flattens an ACFG into the handcrafted vector used by the
+// feature-engineering baselines: global graph statistics, sum/mean/max of
+// every Table I attribute, and log-bucketed histograms of out-degrees and
+// block sizes. This stands in for the ~1800 engineered features of [13] —
+// scaled to this corpus but of the same character (aggregate static
+// statistics rather than learned structure).
+func Features(a *acfg.ACFG) []float64 {
+	n := a.NumVertices()
+	out := make([]float64, NumFeatures)
+	edges := a.Graph.NumEdges()
+	out[0] = float64(n)
+	out[1] = float64(edges)
+	if n > 0 {
+		out[2] = float64(edges) / float64(n) // mean out-degree
+	}
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := a.Graph.OutDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	out[3] = float64(maxDeg)
+
+	// Attribute aggregates.
+	base := 4
+	for c := 0; c < acfg.NumAttributes; c++ {
+		sum, maxV := 0.0, 0.0
+		for v := 0; v < n; v++ {
+			x := a.Attrs.At(v, c)
+			sum += x
+			if x > maxV {
+				maxV = x
+			}
+		}
+		out[base+3*c] = sum
+		if n > 0 {
+			out[base+3*c+1] = sum / float64(n)
+		}
+		out[base+3*c+2] = maxV
+	}
+
+	// Histograms (log-bucketed).
+	degOff := base + 3*acfg.NumAttributes
+	sizeOff := degOff + histBins
+	for v := 0; v < n; v++ {
+		out[degOff+logBucket(a.Graph.OutDegree(v))]++
+		out[sizeOff+logBucket(int(a.Attrs.At(v, acfg.AttrTotalInstructions)))]++
+	}
+	return out
+}
+
+// logBucket maps a count into one of histBins log₂ buckets.
+func logBucket(v int) int {
+	if v <= 0 {
+		return 0
+	}
+	b := int(math.Log2(float64(v))) + 1
+	if b >= histBins {
+		b = histBins - 1
+	}
+	return b
+}
+
+// NumContentFeatures is the width of the content-only feature vector.
+const NumContentFeatures = 2*acfg.NumAttributes + histBins
+
+// ContentFeatures flattens an ACFG into content statistics only — the
+// instruction-mix aggregates and block-size histogram, with no
+// graph-structural signals (no edges, degrees or topology). This mirrors
+// the feature character of the ESVC system [8], which classified on
+// heterogeneous *content* features (byte and opcode distributions) rather
+// than control-flow structure; the contrast is what Figure 11 measures.
+func ContentFeatures(a *acfg.ACFG) []float64 {
+	n := a.NumVertices()
+	out := make([]float64, NumContentFeatures)
+	for c := 0; c < acfg.NumAttributes; c++ {
+		if c == acfg.AttrOffspring {
+			continue // pure topology: not a content signal
+		}
+		sum := 0.0
+		for v := 0; v < n; v++ {
+			sum += a.Attrs.At(v, c)
+		}
+		out[2*c] = sum
+		if n > 0 {
+			out[2*c+1] = sum / float64(n)
+		}
+	}
+	off := 2 * acfg.NumAttributes
+	for v := 0; v < n; v++ {
+		out[off+logBucket(int(a.Attrs.At(v, acfg.AttrTotalInstructions)))]++
+	}
+	return out
+}
+
+// FeatureMatrix extracts features for a whole dataset plus the label
+// vector.
+func FeatureMatrix(d *dataset.Dataset) ([][]float64, []int) {
+	xs := make([][]float64, d.Len())
+	ys := make([]int, d.Len())
+	for i, s := range d.Samples {
+		xs[i] = Features(s.ACFG)
+		ys[i] = s.Label
+	}
+	return xs, ys
+}
+
+// Standardizer standardizes feature vectors column-wise.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer computes column statistics on training features.
+func FitStandardizer(xs [][]float64) *Standardizer {
+	if len(xs) == 0 {
+		return nil
+	}
+	dim := len(xs[0])
+	s := &Standardizer{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for _, x := range xs {
+		for j, v := range x {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(xs))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, x := range xs {
+		for j, v := range x {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-9 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Apply standardizes one vector (returning a copy).
+func (s *Standardizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ApplyAll standardizes a whole matrix.
+func (s *Standardizer) ApplyAll(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Apply(x)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// RandomForest is the bagged-tree baseline standing in for the
+// random-forest methods of [11] and [14]: bootstrap-resampled CART trees
+// with √d feature subsampling, probabilities averaged across trees.
+type RandomForest struct {
+	Trees      int
+	MaxDepth   int
+	MinSamples int
+	Seed       int64
+
+	classes int
+	forest  []*DecisionTree
+}
+
+// NewRandomForest returns a forest with sensible defaults (64 trees,
+// depth 12).
+func NewRandomForest(seed int64) *RandomForest {
+	return &RandomForest{Trees: 64, MaxDepth: 12, MinSamples: 2, Seed: seed}
+}
+
+// Fit trains the forest on a dataset (implements eval.Classifier).
+func (f *RandomForest) Fit(train *dataset.Dataset) error {
+	xs, ys := FeatureMatrix(train)
+	f.FitFeatures(xs, ys, train.NumClasses())
+	return nil
+}
+
+// FitFeatures trains on a pre-extracted feature matrix.
+func (f *RandomForest) FitFeatures(xs [][]float64, ys []int, classes int) {
+	f.classes = classes
+	rng := rand.New(rand.NewSource(f.Seed))
+	maxFeatures := int(math.Sqrt(float64(len(xs[0])))) + 1
+	f.forest = f.forest[:0]
+	for t := 0; t < f.Trees; t++ {
+		// Bootstrap sample.
+		bx := make([][]float64, len(xs))
+		by := make([]int, len(ys))
+		for i := range bx {
+			j := rng.Intn(len(xs))
+			bx[i] = xs[j]
+			by[i] = ys[j]
+		}
+		tree := NewDecisionTree(f.MaxDepth, f.MinSamples)
+		tree.MaxFeatures = maxFeatures
+		tree.Fit(bx, by, classes, rand.New(rand.NewSource(rng.Int63())))
+		f.forest = append(f.forest, tree)
+	}
+}
+
+// Predict averages tree leaf distributions (implements eval.Classifier).
+func (f *RandomForest) Predict(s *dataset.Sample) []float64 {
+	return f.PredictFeatures(Features(s.ACFG))
+}
+
+// PredictFeatures predicts from a pre-extracted feature vector.
+func (f *RandomForest) PredictFeatures(x []float64) []float64 {
+	probs := make([]float64, f.classes)
+	for _, t := range f.forest {
+		for c, p := range t.PredictProbs(x) {
+			probs[c] += p
+		}
+	}
+	n := float64(len(f.forest))
+	for c := range probs {
+		probs[c] /= n
+	}
+	return probs
+}

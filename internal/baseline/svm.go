@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// LinearSVM is a one-vs-rest linear SVM trained with hinge-loss SGD on
+// standardized handcrafted features. It is the building block of the ESVC
+// ensemble ([8]) and a baseline in its own right.
+type LinearSVM struct {
+	Epochs       int
+	LearningRate float64
+	Lambda       float64 // L2 regularization
+	Seed         int64
+
+	classes int
+	std     *Standardizer
+	w       [][]float64 // per class: weights
+	b       []float64   // per class: bias
+}
+
+// NewLinearSVM returns an SVM with defaults suited to the feature corpus.
+func NewLinearSVM(seed int64) *LinearSVM {
+	return &LinearSVM{Epochs: 60, LearningRate: 0.01, Lambda: 1e-3, Seed: seed}
+}
+
+// Fit trains one-vs-rest hinge classifiers (implements eval.Classifier).
+func (m *LinearSVM) Fit(train *dataset.Dataset) error {
+	xs, ys := FeatureMatrix(train)
+	m.FitFeatures(xs, ys, train.NumClasses())
+	return nil
+}
+
+// FitFeatures trains on a pre-extracted feature matrix.
+func (m *LinearSVM) FitFeatures(xs [][]float64, ys []int, classes int) {
+	m.classes = classes
+	m.std = FitStandardizer(xs)
+	sx := m.std.ApplyAll(xs)
+	dim := len(sx[0])
+	m.w = make([][]float64, classes)
+	m.b = make([]float64, classes)
+	rng := rand.New(rand.NewSource(m.Seed))
+	order := make([]int, len(sx))
+	for i := range order {
+		order[i] = i
+	}
+	for c := 0; c < classes; c++ {
+		w := make([]float64, dim)
+		b := 0.0
+		for epoch := 0; epoch < m.Epochs; epoch++ {
+			lr := m.LearningRate / (1 + 0.05*float64(epoch))
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for _, i := range order {
+				y := -1.0
+				if ys[i] == c {
+					y = 1
+				}
+				margin := b
+				for j, v := range sx[i] {
+					margin += w[j] * v
+				}
+				// L2 shrink.
+				for j := range w {
+					w[j] -= lr * m.Lambda * w[j]
+				}
+				if y*margin < 1 {
+					for j, v := range sx[i] {
+						w[j] += lr * y * v
+					}
+					b += lr * y
+				}
+			}
+		}
+		m.w[c] = w
+		m.b[c] = b
+	}
+}
+
+// Margin returns the raw decision value of the class-c hyperplane.
+func (m *LinearSVM) Margin(c int, x []float64) float64 {
+	sx := m.std.Apply(x)
+	margin := m.b[c]
+	for j, v := range sx {
+		margin += m.w[c][j] * v
+	}
+	return margin
+}
+
+// Predict softmaxes the per-class margins (implements eval.Classifier).
+func (m *LinearSVM) Predict(s *dataset.Sample) []float64 {
+	return m.PredictFeatures(Features(s.ACFG))
+}
+
+// PredictFeatures predicts from a pre-extracted feature vector.
+func (m *LinearSVM) PredictFeatures(x []float64) []float64 {
+	margins := make([]float64, m.classes)
+	for c := 0; c < m.classes; c++ {
+		margins[c] = m.Margin(c, x)
+	}
+	return nn.Softmax(margins)
+}

@@ -1,0 +1,193 @@
+// Package cfg builds control flow graphs from disassembled programs using
+// the two-pass procedure of Section IV-A: the first pass tags instructions
+// via the asm.Tagger visitor (Algorithm 1), and the second pass —
+// connectBlocks, Algorithm 2 — creates basic blocks and wires fall-through
+// and branch edges on the fly.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/graph"
+)
+
+// Block is a basic block: a straight-line instruction sequence with control
+// flow transitions only at its exit.
+type Block struct {
+	ID    int
+	Start uint64
+	Insts []*asm.Instruction
+}
+
+// NumInsts returns the number of instructions in the block.
+func (b *Block) NumInsts() int { return len(b.Insts) }
+
+// CFG is a control flow graph: basic blocks (sorted by start address, IDs
+// dense 0..n-1) plus the directed edge structure between them.
+type CFG struct {
+	Blocks []*Block
+	Graph  *graph.Directed
+}
+
+// builder implements Algorithm 2's mutable state.
+type builder struct {
+	blocks  map[uint64]*Block
+	edges   map[uint64]map[uint64]bool // start addr -> set of successor start addrs
+	ordered []uint64
+}
+
+// getBlockAtAddr returns the block starting at addr, creating it if needed —
+// the paper's helper of the same name.
+func (b *builder) getBlockAtAddr(addr uint64) *Block {
+	if blk, ok := b.blocks[addr]; ok {
+		return blk
+	}
+	blk := &Block{Start: addr}
+	b.blocks[addr] = blk
+	b.edges[addr] = make(map[uint64]bool)
+	b.ordered = append(b.ordered, addr)
+	return blk
+}
+
+func (b *builder) addEdge(from, to *Block) {
+	b.edges[from.Start][to.Start] = true
+}
+
+// Build runs both passes over the program and returns its CFG. Programs with
+// no instructions yield an empty CFG.
+func Build(p *asm.Program) *CFG {
+	asm.TagProgram(p)
+	return connectBlocks(p)
+}
+
+// connectBlocks is Algorithm 2: a single in-order sweep that creates blocks
+// at leaders, links fall-through successors, and links branch targets.
+func connectBlocks(p *asm.Program) *CFG {
+	b := &builder{
+		blocks: make(map[uint64]*Block),
+		edges:  make(map[uint64]map[uint64]bool),
+	}
+	var currBlock *Block
+	for _, inst := range p.Insts {
+		if inst.Start {
+			currBlock = b.getBlockAtAddr(inst.Addr)
+		}
+		if currBlock == nil {
+			// Defensive: cannot happen after TagProgram (entry is a
+			// leader), but keeps the sweep total.
+			currBlock = b.getBlockAtAddr(inst.Addr)
+		}
+		nextBlock := currBlock
+
+		if nextInst := p.Next(inst); nextInst != nil {
+			if inst.FallThrough && nextInst.Start {
+				nextBlock = b.getBlockAtAddr(nextInst.Addr)
+				b.addEdge(currBlock, nextBlock)
+			}
+		}
+
+		if inst.HasBranch {
+			target := b.getBlockAtAddr(inst.BranchTo)
+			b.addEdge(currBlock, target)
+		}
+
+		currBlock.Insts = append(currBlock.Insts, inst)
+		currBlock = nextBlock
+	}
+	return b.finish()
+}
+
+// finish orders blocks by start address, assigns dense IDs and materializes
+// the edge structure.
+func (b *builder) finish() *CFG {
+	sort.Slice(b.ordered, func(i, j int) bool { return b.ordered[i] < b.ordered[j] })
+	blocks := make([]*Block, len(b.ordered))
+	idOf := make(map[uint64]int, len(b.ordered))
+	for i, addr := range b.ordered {
+		blk := b.blocks[addr]
+		blk.ID = i
+		blocks[i] = blk
+		idOf[addr] = i
+	}
+	g := graph.NewDirected(len(blocks))
+	for from, tos := range b.edges {
+		for to := range tos {
+			g.AddEdge(idOf[from], idOf[to])
+		}
+	}
+	return &CFG{Blocks: blocks, Graph: g}
+}
+
+// BlockAt returns the block starting at addr, or nil.
+func (c *CFG) BlockAt(addr uint64) *Block {
+	i := sort.Search(len(c.Blocks), func(i int) bool { return c.Blocks[i].Start >= addr })
+	if i < len(c.Blocks) && c.Blocks[i].Start == addr {
+		return c.Blocks[i]
+	}
+	return nil
+}
+
+// NumBlocks returns the number of basic blocks.
+func (c *CFG) NumBlocks() int { return len(c.Blocks) }
+
+// NumEdges returns the number of directed edges.
+func (c *CFG) NumEdges() int { return c.Graph.NumEdges() }
+
+// TotalInstructions returns the instruction count across all blocks.
+func (c *CFG) TotalInstructions() int {
+	total := 0
+	for _, b := range c.Blocks {
+		total += len(b.Insts)
+	}
+	return total
+}
+
+// Validate checks structural invariants: dense sorted IDs, non-overlapping
+// blocks, every edge endpoint in range, and each non-empty block's
+// instructions contiguous in address order.
+func (c *CFG) Validate() error {
+	var prevEnd uint64
+	for i, b := range c.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("cfg: block %d has ID %d", i, b.ID)
+		}
+		if i > 0 && b.Start < prevEnd {
+			return fmt.Errorf("cfg: block %d at %#x overlaps previous ending at %#x", i, b.Start, prevEnd)
+		}
+		for j, inst := range b.Insts {
+			if j == 0 && inst.Addr != b.Start {
+				return fmt.Errorf("cfg: block %d first instruction %#x != start %#x", i, inst.Addr, b.Start)
+			}
+			if j > 0 && inst.Addr <= b.Insts[j-1].Addr {
+				return fmt.Errorf("cfg: block %d instructions out of order at %#x", i, inst.Addr)
+			}
+		}
+		if n := len(b.Insts); n > 0 {
+			prevEnd = b.Insts[n-1].Addr + b.Insts[n-1].Size
+		} else {
+			prevEnd = b.Start
+		}
+	}
+	return nil
+}
+
+// String renders the CFG's blocks and edges for debugging and the
+// cfgexplore example.
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "block %d @ %#x (%d insts)", b.ID, b.Start, len(b.Insts))
+		if succ := c.Graph.Succ(b.ID); len(succ) > 0 {
+			fmt.Fprintf(&sb, " -> %v", succ)
+		}
+		sb.WriteString("\n")
+		for _, in := range b.Insts {
+			ops := strings.Join(in.Operands, ", ")
+			fmt.Fprintf(&sb, "  %08x  %-6s %s\n", in.Addr, in.Mnemonic, ops)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,220 @@
+// Package core implements MAGIC's classifier — the paper's primary
+// contribution: a Deep Graph Convolutional Neural Network (DGCNN) extended
+// for malware classification. The pipeline per Section III is
+//
+//	ACFG → stacked graph convolutions (Eq. 1) → concat Z^{1:h} →
+//	  either SortPooling → {Conv1D head | WeightedVertices head}
+//	  or     AdaptiveMaxPooling + VGG-style Conv2D head
+//	→ fully connected classifier → softmax (NLL loss, Eq. 5)
+//
+// trained end-to-end with Adam and the decay-on-plateau learning-rate
+// schedule of Section V-B.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PoolingType selects between the original sort pooling and the paper's
+// AdaptiveMaxPooling extension (Table II "Pooling Type").
+type PoolingType int
+
+// Pooling types.
+const (
+	SortPooling PoolingType = iota + 1
+	AdaptivePooling
+)
+
+// String names the pooling type.
+func (p PoolingType) String() string {
+	switch p {
+	case SortPooling:
+		return "Sort Pooling"
+	case AdaptivePooling:
+		return "Adaptive Pooling"
+	default:
+		return fmt.Sprintf("PoolingType(%d)", int(p))
+	}
+}
+
+// HeadType selects the remaining layer after sort pooling (Table II
+// "Remaining Layer"). It is ignored when PoolingType is AdaptivePooling.
+type HeadType int
+
+// Head types.
+const (
+	Conv1DHead HeadType = iota + 1
+	WeightedVerticesHead
+)
+
+// String names the head type.
+func (h HeadType) String() string {
+	switch h {
+	case Conv1DHead:
+		return "1D Convolution Layer"
+	case WeightedVerticesHead:
+		return "WeightedVertices Layer"
+	default:
+		return fmt.Sprintf("HeadType(%d)", int(h))
+	}
+}
+
+// Config holds the hyperparameters of Table II plus training settings.
+type Config struct {
+	// Classes is the number of malware families C.
+	Classes int
+	// AttrDim is the per-vertex attribute width c (11 for Table I).
+	AttrDim int
+
+	// Pooling selects sort pooling vs adaptive max pooling.
+	Pooling PoolingType
+	// PoolingRatio is Table II's "Pooling Ratio": for sort pooling it
+	// positions k so that roughly that fraction of training graphs have
+	// at least k vertices; for adaptive pooling it scales the output
+	// grid height.
+	PoolingRatio float64
+	// ConvSizes are the graph-convolution channel widths, e.g.
+	// (32, 32, 32, 1) — Table II "Graph Convolution Size".
+	ConvSizes []int
+	// Head is the remaining layer used with sort pooling.
+	Head HeadType
+	// Conv2DChannels is the filter count of the first 2-D convolution in
+	// the adaptive-pooling head (Table II: 16 or 32).
+	Conv2DChannels int
+	// Conv1DChannels is the (first, second) filter-count pair of the 1-D
+	// convolution head (Table II: (16, 32)).
+	Conv1DChannels [2]int
+	// Conv1DKernel is the second 1-D convolution's kernel size
+	// (Table II: 5 or 7).
+	Conv1DKernel int
+	// DropoutRate is applied before the final classifier
+	// (Table II: 0.1 or 0.5).
+	DropoutRate float64
+	// BatchSize for gradient accumulation (Table II: 10 or 40).
+	BatchSize int
+	// WeightDecay is the L2 regularization factor
+	// (Table II: 1e-4 or 5e-4).
+	WeightDecay float64
+
+	// LearningRate for Adam. The paper does not list it in Table II; the
+	// reference DGCNN uses 1e-4–1e-3 ranges. Default 1e-3.
+	LearningRate float64
+	// Epochs to train (paper: 100; scaled down by default here).
+	Epochs int
+	// HiddenUnits is the width of the penultimate dense layer.
+	HiddenUnits int
+	// Seed drives all weight initialization and shuffling.
+	Seed int64
+
+	// K is the resolved sort-pooling size. Zero means "derive from the
+	// training set via PoolingRatio" (see ResolveK).
+	K int
+}
+
+// DefaultConfig returns the best-model hyperparameters MAGIC found for the
+// MSKCFG dataset (Table II last-but-one column), with training lengths
+// scaled for a single-CPU environment.
+func DefaultConfig(classes, attrDim int) Config {
+	return Config{
+		Classes:        classes,
+		AttrDim:        attrDim,
+		Pooling:        AdaptivePooling,
+		PoolingRatio:   0.64,
+		ConvSizes:      []int{32, 32, 32, 32},
+		Head:           Conv1DHead,
+		Conv2DChannels: 16,
+		Conv1DChannels: [2]int{16, 32},
+		Conv1DKernel:   5,
+		DropoutRate:    0.1,
+		BatchSize:      10,
+		WeightDecay:    1e-4,
+		LearningRate:   1e-3,
+		Epochs:         20,
+		HiddenUnits:    64,
+		Seed:           1,
+	}
+}
+
+// Validate reports configuration errors before model construction.
+func (c *Config) Validate() error {
+	switch {
+	case c.Classes < 2:
+		return fmt.Errorf("core: need at least 2 classes, got %d", c.Classes)
+	case c.AttrDim < 1:
+		return fmt.Errorf("core: attribute dimension %d", c.AttrDim)
+	case len(c.ConvSizes) == 0:
+		return fmt.Errorf("core: no graph convolution layers")
+	case c.Pooling != SortPooling && c.Pooling != AdaptivePooling:
+		return fmt.Errorf("core: unknown pooling type %d", c.Pooling)
+	case c.Pooling == SortPooling && c.Head != Conv1DHead && c.Head != WeightedVerticesHead:
+		return fmt.Errorf("core: unknown head type %d", c.Head)
+	case c.PoolingRatio <= 0 || c.PoolingRatio > 1:
+		return fmt.Errorf("core: pooling ratio %v outside (0, 1]", c.PoolingRatio)
+	case c.DropoutRate < 0 || c.DropoutRate >= 1:
+		return fmt.Errorf("core: dropout rate %v outside [0, 1)", c.DropoutRate)
+	case c.BatchSize < 1:
+		return fmt.Errorf("core: batch size %d", c.BatchSize)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("core: learning rate %v", c.LearningRate)
+	}
+	for i, s := range c.ConvSizes {
+		if s < 1 {
+			return fmt.Errorf("core: conv layer %d size %d", i, s)
+		}
+	}
+	return nil
+}
+
+// TotalConvWidth returns Σ ct — the width of the concatenated Z^{1:h}.
+func (c *Config) TotalConvWidth() int {
+	total := 0
+	for _, s := range c.ConvSizes {
+		total += s
+	}
+	return total
+}
+
+// ResolveK derives the sort-pooling size k from the training graphs'
+// vertex counts: the largest k such that at least PoolingRatio of the
+// graphs have k or more vertices (so a fraction ≈ ratio of graphs is
+// truncated rather than padded), clamped to ≥ 2. Following the reference
+// DGCNN implementation, k is chosen once from the whole training set.
+func (c *Config) ResolveK(sizes []int) int {
+	if c.K > 0 {
+		return c.K
+	}
+	if len(sizes) == 0 {
+		return 2
+	}
+	sorted := make([]int, len(sizes))
+	copy(sorted, sizes)
+	sort.Ints(sorted)
+	// Index such that a fraction ratio of graphs are >= k: take the
+	// (1-ratio) quantile of sizes.
+	idx := int(float64(len(sorted)) * (1 - c.PoolingRatio))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	k := sorted[idx]
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// AMPGrid returns the AdaptiveMaxPooling output grid (height, width). The
+// height scales with the pooling ratio (ratio 0.2 → 4 rows, 0.64 → 10
+// rows); the width is fixed at 8 columns — this is our concrete
+// interpretation of the ratio hyperparameter for the adaptive path, where
+// the paper leaves the grid size implicit.
+func (c *Config) AMPGrid() (int, int) {
+	h := int(c.PoolingRatio * 16)
+	if h < 2 {
+		h = 2
+	}
+	return h, 8
+}

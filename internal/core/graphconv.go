@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// GraphConvStack implements the stacked graph-convolution layers of
+// Eq. 1: Z_{t+1} = f(D̄⁻¹ Ā Z_t W_t) with f = ReLU, and the concatenation
+// Z^{1:h} = [Z_1, …, Z_h] consumed by the pooling stage.
+//
+// The propagation operator D̄⁻¹Ā is supplied per sample as a
+// graph.Propagator; the stack holds only the weight matrices W_t.
+type GraphConvStack struct {
+	Weights []*nn.Param // W_t of shape c_t × c_{t+1}
+
+	// Per-sample caches for the backward pass.
+	prop   *graph.Propagator
+	inputs []*tensor.Matrix // Z_t (pre-layer inputs), len == layers
+	pre    []*tensor.Matrix // P·Z_t·W_t (pre-activation), len == layers
+	outs   []*tensor.Matrix // Z_{t+1} (post-activation), len == layers
+}
+
+// NewGraphConvStack builds h = len(sizes) layers mapping attrDim →
+// sizes[0] → sizes[1] → … with Glorot-uniform weights.
+func NewGraphConvStack(rng *rand.Rand, attrDim int, sizes []int) *GraphConvStack {
+	s := &GraphConvStack{}
+	in := attrDim
+	for i, out := range sizes {
+		name := "gconv" + string(rune('0'+i))
+		s.Weights = append(s.Weights, nn.NewParam(name, tensor.GlorotUniform(rng, in, out)))
+		in = out
+	}
+	return s
+}
+
+// Params exposes the layer weights to the optimizer.
+func (s *GraphConvStack) Params() []*nn.Param {
+	ps := make([]*nn.Param, len(s.Weights))
+	copy(ps, s.Weights)
+	return ps
+}
+
+// Forward runs all graph-convolution layers for one graph and returns the
+// concatenated Z^{1:h} (n × Σ c_t).
+func (s *GraphConvStack) Forward(prop *graph.Propagator, x *tensor.Matrix) *tensor.Matrix {
+	s.prop = prop
+	h := len(s.Weights)
+	s.inputs = make([]*tensor.Matrix, h)
+	s.pre = make([]*tensor.Matrix, h)
+	s.outs = make([]*tensor.Matrix, h)
+	z := x
+	for t, w := range s.Weights {
+		s.inputs[t] = z
+		f := tensor.MatMul(z, w.Value)  // Z_t · W_t
+		o := prop.Apply(f)              // D̄⁻¹ Ā · (Z_t W_t)
+		s.pre[t] = o
+		z = o.Map(relu)
+		s.outs[t] = z
+	}
+	return tensor.HConcat(s.outs...)
+}
+
+// Backward consumes ∂L/∂Z^{1:h} and returns ∂L/∂X, accumulating weight
+// gradients. Each Z_t receives gradient both from its slice of the
+// concatenated output and from layer t+1.
+func (s *GraphConvStack) Backward(dconcat *tensor.Matrix) *tensor.Matrix {
+	h := len(s.Weights)
+	// Split the concatenated gradient into per-layer slices.
+	dOuts := make([]*tensor.Matrix, h)
+	off := 0
+	for t := range s.Weights {
+		w := s.Weights[t].Value.Cols
+		dOuts[t] = dconcat.SliceCols(off, off+w)
+		off += w
+	}
+	var dNext *tensor.Matrix // gradient flowing into Z_t from layer t (w.r.t. its input)
+	for t := h - 1; t >= 0; t-- {
+		dz := dOuts[t]
+		if dNext != nil {
+			dz = tensor.Add(dz, dNext)
+		}
+		// Through ReLU: gate on pre-activation sign.
+		dpre := tensor.New(dz.Rows, dz.Cols)
+		for i, g := range dz.Data {
+			if s.pre[t].Data[i] > 0 {
+				dpre.Data[i] = g
+			}
+		}
+		// Through P: dF = Pᵀ · dpre.
+		df := s.prop.ApplyTranspose(dpre)
+		// Through the matmul: dW_t += Z_tᵀ · dF ; dZ_t = dF · W_tᵀ.
+		s.Weights[t].Grad.AddInPlace(tensor.MatMul(s.inputs[t].T(), df))
+		dNext = tensor.MatMul(df, s.Weights[t].Value.T())
+	}
+	return dNext
+}
+
+func relu(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}

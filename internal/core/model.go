@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/acfg"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Model is the end-to-end DGCNN malware classifier. Construction wires the
+// variant selected by the Config:
+//
+//   - SortPooling + Conv1DHead: graph conv → sort pool (k rows) → Conv1D
+//     (kernel = stride = feature width, i.e. per-vertex filters) → max pool
+//     → Conv1D → dense classifier (the original DGCNN remaining layer).
+//   - SortPooling + WeightedVerticesHead: graph conv → sort pool →
+//     WeightedVertices graph embedding (Eq. 3) → dense classifier.
+//   - AdaptivePooling: graph conv → Conv2D → AdaptiveMaxPool to a fixed
+//     grid → VGG-style Conv2D stack → dense classifier (Section III-C).
+//
+// A Model is not safe for concurrent use: Forward caches per-sample state
+// inside its layers for the corresponding Backward. Callers that serve
+// predictions from multiple goroutines must serialize access (see
+// internal/service) or load one model per goroutine.
+type Model struct {
+	Config Config
+	K      int // resolved sort-pooling size (0 in adaptive mode)
+
+	conv   *GraphConvStack
+	sort   *SortPool
+	head   *nn.Sequential
+	scaler *Scaler
+	params []*nn.Param
+}
+
+// NewModel constructs a model. trainSizes supplies the training graphs'
+// vertex counts used to resolve k for sort pooling (may be nil in adaptive
+// mode or when cfg.K is set explicitly).
+func NewModel(cfg Config, trainSizes []int) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Config: cfg}
+	m.conv = NewGraphConvStack(rng, cfg.AttrDim, cfg.ConvSizes)
+	d := cfg.TotalConvWidth()
+
+	switch cfg.Pooling {
+	case SortPooling:
+		m.K = cfg.ResolveK(trainSizes)
+		m.sort = NewSortPool(m.K)
+		switch cfg.Head {
+		case Conv1DHead:
+			m.head = buildConv1DHead(rng, cfg, m.K, d)
+		case WeightedVerticesHead:
+			m.head = buildWeightedVerticesHead(rng, cfg, m.K, d)
+		}
+	case AdaptivePooling:
+		m.head = buildAMPHead(rng, cfg, d)
+	}
+
+	m.params = append(m.params, m.conv.Params()...)
+	m.params = append(m.params, m.head.Params()...)
+	return m, nil
+}
+
+// buildConv1DHead realizes the original DGCNN remaining layer: the sort-pool
+// output (k×d) is read as a length k·d signal; the first Conv1D has kernel
+// and stride d so each filter aggregates one vertex's descriptor, then max
+// pooling halves the vertex axis and a second Conv1D mixes neighbouring
+// vertex embeddings before the dense classifier.
+func buildConv1DHead(rng *rand.Rand, cfg Config, k, d int) *nn.Sequential {
+	c1, c2 := cfg.Conv1DChannels[0], cfg.Conv1DChannels[1]
+	conv1 := nn.NewConv1D(rng, 1, c1, d, d) // 1×1×(k·d) → c1×1×k
+	w := conv1.OutWidth(k * d)              // == k
+	pool := nn.NewMaxPool2D(1, 2, 2)
+	_, pw := pool.OutDims(1, w)
+	kernel2 := cfg.Conv1DKernel
+	if kernel2 > pw {
+		kernel2 = pw // degenerate tiny-k configs: shrink the kernel
+	}
+	conv2 := nn.NewConv1D(rng, c1, c2, kernel2, 1)
+	flatW := c2 * conv2.OutWidth(pw)
+	return nn.NewSequential(
+		conv1,
+		nn.NewReLU(),
+		pool,
+		conv2,
+		nn.NewReLU(),
+		nn.NewLinear(rng, flatW, cfg.HiddenUnits),
+		nn.NewReLU(),
+		nn.NewDropout(rng, cfg.DropoutRate),
+		nn.NewLinear(rng, cfg.HiddenUnits, cfg.Classes),
+	)
+}
+
+// buildWeightedVerticesHead realizes the paper's Eq. 3 head.
+func buildWeightedVerticesHead(rng *rand.Rand, cfg Config, k, d int) *nn.Sequential {
+	return nn.NewSequential(
+		NewWeightedVertices(rng, k),
+		nn.NewLinear(rng, d, cfg.HiddenUnits),
+		nn.NewReLU(),
+		nn.NewDropout(rng, cfg.DropoutRate),
+		nn.NewLinear(rng, cfg.HiddenUnits, cfg.Classes),
+	)
+}
+
+// buildAMPHead realizes Section III-C: Conv2D over the raw n×d feature map,
+// adaptive max pooling to a fixed grid, then a small VGG-style stack.
+func buildAMPHead(rng *rand.Rand, cfg Config, d int) *nn.Sequential {
+	c := cfg.Conv2DChannels
+	gh, gw := cfg.AMPGrid()
+	post := nn.NewMaxPool2D(2, 2, 2)
+	ph, pw := post.OutDims(gh, gw)
+	flat := 2 * c * ph * pw
+	_ = d // the head is width-agnostic: AMP unifies the grid
+	return nn.NewSequential(
+		nn.NewConv2D(rng, 1, c, 3, 3, 1, 1),
+		nn.NewReLU(),
+		nn.NewAdaptiveMaxPool2D(gh, gw),
+		nn.NewConv2D(rng, c, 2*c, 3, 3, 1, 1),
+		nn.NewReLU(),
+		post,
+		nn.NewLinear(rng, flat, cfg.HiddenUnits),
+		nn.NewReLU(),
+		nn.NewDropout(rng, cfg.DropoutRate),
+		nn.NewLinear(rng, cfg.HiddenUnits, cfg.Classes),
+	)
+}
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*nn.Param { return m.params }
+
+// SetScaler installs the attribute scaler fitted on training data.
+func (m *Model) SetScaler(s *Scaler) { m.scaler = s }
+
+// Scaler returns the installed attribute scaler (may be nil).
+func (m *Model) Scaler() *Scaler { return m.scaler }
+
+// Forward computes class logits for one ACFG. train enables dropout.
+func (m *Model) Forward(a *acfg.ACFG, train bool) []float64 {
+	return m.forwardProp(graph.NewPropagator(a.Graph), a, train)
+}
+
+// forwardProp is Forward with a caller-supplied (possibly cached)
+// propagation operator.
+func (m *Model) forwardProp(prop *graph.Propagator, a *acfg.ACFG, train bool) []float64 {
+	x := a.Attrs
+	if m.scaler != nil {
+		x = m.scaler.Transform(x)
+	}
+	if x.Rows == 0 {
+		// Degenerate empty graph: classify a single zero vertex.
+		x = tensor.New(1, m.Config.AttrDim)
+		prop = graph.NewPropagator(graph.NewDirected(1))
+	}
+	z := m.conv.Forward(prop, x)
+
+	var vol *nn.Volume
+	if m.sort != nil {
+		zsp := m.sort.Forward(z)
+		if m.Config.Head == Conv1DHead {
+			vol = nn.NewVolume(1, 1, zsp.Rows*zsp.Cols)
+			copy(vol.Data, zsp.Data)
+		} else {
+			vol = nn.MatrixVolume(zsp)
+		}
+	} else {
+		vol = nn.MatrixVolume(z)
+	}
+	out := m.head.Forward(vol, train)
+	logits := make([]float64, len(out.Data))
+	copy(logits, out.Data)
+	return logits
+}
+
+// Backward propagates ∂L/∂logits through the whole network, accumulating
+// parameter gradients. Must follow a Forward call on the same sample.
+func (m *Model) Backward(dlogits []float64) {
+	dvol := nn.VecVolume(dlogits)
+	din := m.head.Backward(dvol)
+
+	var dz *tensor.Matrix
+	if m.sort != nil {
+		k := m.sort.K
+		d := din.Len() / k
+		dm := tensor.New(k, d)
+		copy(dm.Data, din.Data)
+		dz = m.sort.Backward(dm)
+	} else {
+		dz = din.Matrix()
+	}
+	m.conv.Backward(dz)
+}
+
+// Predict returns the class-probability vector for one ACFG.
+func (m *Model) Predict(a *acfg.ACFG) []float64 {
+	return nn.Softmax(m.Forward(a, false))
+}
+
+// PredictClass returns the most likely class index.
+func (m *Model) PredictClass(a *acfg.ACFG) int {
+	probs := m.Predict(a)
+	best, bestP := 0, probs[0]
+	for i, p := range probs[1:] {
+		if p > bestP {
+			best, bestP = i+1, p
+		}
+	}
+	return best
+}
+
+// NumParameters returns the total trainable scalar count, for reporting.
+func (m *Model) NumParameters() int {
+	total := 0
+	for _, p := range m.params {
+		total += len(p.Value.Data)
+	}
+	return total
+}
+
+// describe summarizes the model variant for logs.
+func (m *Model) describe() string {
+	if m.sort != nil {
+		return fmt.Sprintf("DGCNN[%v k=%d head=%v conv=%v params=%d]",
+			m.Config.Pooling, m.K, m.Config.Head, m.Config.ConvSizes, m.NumParameters())
+	}
+	gh, gw := m.Config.AMPGrid()
+	return fmt.Sprintf("DGCNN[%v grid=%dx%d conv=%v params=%d]",
+		m.Config.Pooling, gh, gw, m.Config.ConvSizes, m.NumParameters())
+}
+
+// String implements fmt.Stringer.
+func (m *Model) String() string { return m.describe() }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/acfg"
+	"repro/internal/tensor"
+)
+
+// Scaler standardizes vertex attributes column-wise (zero mean, unit
+// variance) using statistics fitted on the training set. Raw Table I
+// counters span several orders of magnitude across blocks; standardization
+// keeps the graph-convolution activations in a trainable range. The scaler
+// is fitted once on training data and applied unchanged at prediction time,
+// so no test information leaks into training.
+type Scaler struct {
+	Mean []float64 `json:"mean"`
+	Std  []float64 `json:"std"`
+}
+
+// FitScaler computes per-attribute mean and standard deviation over all
+// vertices of all training graphs.
+func FitScaler(samples []*acfg.ACFG) *Scaler {
+	if len(samples) == 0 {
+		return nil
+	}
+	dim := samples[0].Attrs.Cols
+	s := &Scaler{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	count := 0.0
+	for _, a := range samples {
+		for i := 0; i < a.Attrs.Rows; i++ {
+			row := a.Attrs.Row(i)
+			for c, v := range row {
+				s.Mean[c] += v
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		for c := range s.Std {
+			s.Std[c] = 1
+		}
+		return s
+	}
+	for c := range s.Mean {
+		s.Mean[c] /= count
+	}
+	for _, a := range samples {
+		for i := 0; i < a.Attrs.Rows; i++ {
+			row := a.Attrs.Row(i)
+			for c, v := range row {
+				d := v - s.Mean[c]
+				s.Std[c] += d * d
+			}
+		}
+	}
+	for c := range s.Std {
+		s.Std[c] = math.Sqrt(s.Std[c] / count)
+		if s.Std[c] < 1e-9 {
+			s.Std[c] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns the standardized copy of an attribute matrix.
+func (s *Scaler) Transform(m *tensor.Matrix) *tensor.Matrix {
+	if s == nil {
+		return m
+	}
+	out := tensor.New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src, dst := m.Row(i), out.Row(i)
+		for c, v := range src {
+			dst[c] = (v - s.Mean[c]) / s.Std[c]
+		}
+	}
+	return out
+}

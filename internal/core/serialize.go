@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// savedModel is the on-disk form: the configuration (enough to rebuild the
+// architecture), the resolved k, the scaler and every parameter tensor in
+// Params() order.
+type savedModel struct {
+	Config Config      `json:"config"`
+	K      int         `json:"k"`
+	Scaler *Scaler     `json:"scaler,omitempty"`
+	Params [][]float64 `json:"params"`
+}
+
+// Save serializes the model as JSON to w.
+func (m *Model) Save(w io.Writer) error {
+	sm := savedModel{Config: m.Config, K: m.K, Scaler: m.scaler}
+	for _, p := range m.params {
+		row := make([]float64, len(p.Value.Data))
+		copy(row, p.Value.Data)
+		sm.Params = append(sm.Params, row)
+	}
+	if err := json.NewEncoder(w).Encode(sm); err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reconstructs a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var sm savedModel
+	if err := json.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	cfg := sm.Config
+	cfg.K = sm.K // force the saved k instead of re-deriving it
+	m, err := NewModel(cfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	if len(sm.Params) != len(m.params) {
+		return nil, fmt.Errorf("core: load model: %d parameter tensors, want %d", len(sm.Params), len(m.params))
+	}
+	for i, vals := range sm.Params {
+		if len(vals) != len(m.params[i].Value.Data) {
+			return nil, fmt.Errorf("core: load model: parameter %d has %d values, want %d",
+				i, len(vals), len(m.params[i].Value.Data))
+		}
+		copy(m.params[i].Value.Data, vals)
+	}
+	m.scaler = sm.Scaler
+	return m, nil
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// SortPool implements the SortPooling layer of Section III-A-3: vertices are
+// sorted by their feature descriptors — primarily the last channel of the
+// last graph-convolution layer (the most refined Weisfeiler-Lehman color),
+// with ties broken by progressively earlier channels — and the sorted
+// matrix is truncated or zero-padded to exactly K rows.
+type SortPool struct {
+	K int
+
+	// Per-sample cache: order[i] is the source row of output row i, or -1
+	// for padding.
+	order []int
+	inN   int
+	inC   int
+}
+
+// NewSortPool returns a sort-pooling layer producing K rows.
+func NewSortPool(k int) *SortPool {
+	if k < 1 {
+		panic("core: sort pool k must be >= 1")
+	}
+	return &SortPool{K: k}
+}
+
+// Forward sorts, truncates/pads, and returns the K×D pooled matrix.
+func (s *SortPool) Forward(z *tensor.Matrix) *tensor.Matrix {
+	n, d := z.Rows, z.Cols
+	s.inN, s.inC = n, d
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Decreasing order of the last channel; ties broken by the next
+	// channel to the left, repeating until all ties are broken (row
+	// index as the final deterministic tiebreak).
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := z.Row(idx[a]), z.Row(idx[b])
+		for c := d - 1; c >= 0; c-- {
+			if ra[c] != rb[c] {
+				return ra[c] > rb[c]
+			}
+		}
+		return idx[a] < idx[b]
+	})
+
+	out := tensor.New(s.K, d)
+	s.order = make([]int, s.K)
+	for i := 0; i < s.K; i++ {
+		if i < n {
+			s.order[i] = idx[i]
+			copy(out.Row(i), z.Row(idx[i]))
+		} else {
+			s.order[i] = -1 // zero padding
+		}
+	}
+	return out
+}
+
+// Backward routes ∂L/∂Zsp rows back to their source vertices; padding rows
+// contribute nothing.
+func (s *SortPool) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	din := tensor.New(s.inN, s.inC)
+	for i, src := range s.order {
+		if src < 0 {
+			continue
+		}
+		drow := din.Row(src)
+		grow := dout.Row(i)
+		for c, g := range grow {
+			drow[c] += g
+		}
+	}
+	return din
+}
+
+// Order exposes the last forward pass's row permutation (output row →
+// source vertex, -1 for padding). Used by tests and the paper's Figure 4
+// walk-through.
+func (s *SortPool) Order() []int {
+	out := make([]int, len(s.order))
+	copy(out, s.order)
+	return out
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/acfg"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// History records per-epoch training and validation losses.
+type History struct {
+	TrainLoss []float64
+	ValLoss   []float64
+	// BestEpoch is the epoch with minimum validation loss (or training
+	// loss when no validation set was supplied).
+	BestEpoch int
+	// BestValLoss is the minimum observed validation loss.
+	BestValLoss float64
+}
+
+// TrainOptions tunes the training loop beyond the model Config.
+type TrainOptions struct {
+	// Logf, when non-nil, receives one line per epoch.
+	Logf func(format string, args ...any)
+	// Patience stops training early after this many epochs without
+	// validation improvement. Zero disables early stopping.
+	Patience int
+}
+
+// Train fits the model on train, monitoring val (which may be nil). It fits
+// the attribute scaler, runs mini-batch Adam with the paper's
+// decay-on-plateau schedule, and restores the parameters of the epoch with
+// the lowest validation loss (the paper's model-selection criterion).
+func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, error) {
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	cfg := m.Config
+	m.SetScaler(FitScaler(acfgsOf(train)))
+
+	trainProps := buildProps(train)
+	var valProps []*graph.Propagator
+	if val != nil {
+		valProps = buildProps(val)
+	}
+
+	opt := nn.NewAdam(m.Params(), cfg.LearningRate, cfg.WeightDecay)
+	sched := nn.NewPlateauScheduler(opt)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	hist := &History{BestValLoss: -1}
+	var best []*tensor.Matrix
+	sinceBest := 0
+
+	order := make([]int, train.Len())
+	for i := range order {
+		order[i] = i
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		trainLoss := 0.0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for _, idx := range order[start:end] {
+				s := train.Samples[idx]
+				logits := m.forwardProp(trainProps[idx], s.ACFG, true)
+				loss, _, dlogits := nn.SoftmaxNLL(logits, s.Label)
+				trainLoss += loss
+				m.Backward(dlogits)
+			}
+			opt.Step(end - start)
+		}
+		trainLoss /= float64(train.Len())
+		hist.TrainLoss = append(hist.TrainLoss, trainLoss)
+
+		monitor := trainLoss
+		valLoss := 0.0
+		if val != nil && val.Len() > 0 {
+			for i, s := range val.Samples {
+				logits := m.forwardProp(valProps[i], s.ACFG, false)
+				probs := nn.Softmax(logits)
+				valLoss += nn.NLLOfProbs(probs, s.Label)
+			}
+			valLoss /= float64(val.Len())
+			hist.ValLoss = append(hist.ValLoss, valLoss)
+			monitor = valLoss
+		}
+		decayed := sched.Observe(monitor)
+
+		if hist.BestValLoss < 0 || monitor < hist.BestValLoss {
+			hist.BestValLoss = monitor
+			hist.BestEpoch = epoch
+			best = snapshotParams(m.Params())
+			sinceBest = 0
+		} else {
+			sinceBest++
+		}
+
+		if opts.Logf != nil {
+			if val != nil {
+				opts.Logf("epoch %3d  train %.4f  val %.4f  lr %.2g%s",
+					epoch, trainLoss, valLoss, opt.LR(), decayNote(decayed))
+			} else {
+				opts.Logf("epoch %3d  train %.4f  lr %.2g%s", epoch, trainLoss, opt.LR(), decayNote(decayed))
+			}
+		}
+		if opts.Patience > 0 && sinceBest >= opts.Patience {
+			break
+		}
+	}
+	if best != nil {
+		restoreParams(m.Params(), best)
+	}
+	return hist, nil
+}
+
+// EvaluateLoss computes the mean NLL of the model over a dataset.
+func EvaluateLoss(m *Model, d *dataset.Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range d.Samples {
+		total += nn.NLLOfProbs(m.Predict(s.ACFG), s.Label)
+	}
+	return total / float64(d.Len())
+}
+
+// PredictDataset returns the predicted class per sample.
+func PredictDataset(m *Model, d *dataset.Dataset) []int {
+	preds := make([]int, d.Len())
+	for i, s := range d.Samples {
+		preds[i] = m.PredictClass(s.ACFG)
+	}
+	return preds
+}
+
+// PredictProbs returns per-sample probability vectors.
+func PredictProbs(m *Model, d *dataset.Dataset) [][]float64 {
+	probs := make([][]float64, d.Len())
+	for i, s := range d.Samples {
+		probs[i] = m.Predict(s.ACFG)
+	}
+	return probs
+}
+
+func acfgsOf(d *dataset.Dataset) []*acfg.ACFG {
+	out := make([]*acfg.ACFG, d.Len())
+	for i, s := range d.Samples {
+		out[i] = s.ACFG
+	}
+	return out
+}
+
+func buildProps(d *dataset.Dataset) []*graph.Propagator {
+	props := make([]*graph.Propagator, d.Len())
+	for i, s := range d.Samples {
+		props[i] = graph.NewPropagator(s.ACFG.Graph)
+	}
+	return props
+}
+
+func snapshotParams(ps []*nn.Param) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, len(ps))
+	for i, p := range ps {
+		out[i] = p.Value.Clone()
+	}
+	return out
+}
+
+func restoreParams(ps []*nn.Param, snap []*tensor.Matrix) {
+	for i, p := range ps {
+		copy(p.Value.Data, snap[i].Data)
+	}
+}
+
+func decayNote(decayed bool) string {
+	if decayed {
+		return "  (lr decayed)"
+	}
+	return ""
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// WeightedVertices is the paper's first extension (Section III-B): a
+// single-channel Conv1D of kernel size k and stride k applied to the
+// transposed sort-pooling output, equivalent to
+//
+//	E = f(W × Zsp)            (Eq. 3)
+//	E_c = f(Σ_i W_i · Zsp_{i,c})   (Eq. 4)
+//
+// i.e. the graph embedding is a learned weighted sum of the k kept vertex
+// embeddings, with an elementwise ReLU. Input: 1×k×D volume (the sort-pool
+// output); output: 1×1×D.
+type WeightedVertices struct {
+	K int
+	W *nn.Param // 1×K row of vertex weights
+
+	lastIn  *nn.Volume
+	lastPre []float64
+}
+
+// NewWeightedVertices builds the layer with uniform initial weights 1/k, a
+// neutral starting point for the weighted sum.
+func NewWeightedVertices(rng *rand.Rand, k int) *WeightedVertices {
+	w := tensor.New(1, k)
+	for i := range w.Data {
+		// Uniform around 1/k with a little noise to break symmetry.
+		w.Data[i] = 1.0/float64(k) + (rng.Float64()-0.5)*0.1/float64(k)
+	}
+	return &WeightedVertices{K: k, W: nn.NewParam("weightedvertices.W", w)}
+}
+
+// Forward computes E = relu(W × Zsp).
+func (l *WeightedVertices) Forward(in *nn.Volume, _ bool) *nn.Volume {
+	if in.C != 1 || in.H != l.K {
+		panic("core: WeightedVertices expects a 1×k×D input")
+	}
+	l.lastIn = in
+	d := in.W
+	pre := make([]float64, d)
+	for i := 0; i < l.K; i++ {
+		wi := l.W.Value.Data[i]
+		row := in.Data[i*d : (i+1)*d]
+		for c, v := range row {
+			pre[c] += wi * v
+		}
+	}
+	l.lastPre = pre
+	out := nn.NewVolume(1, 1, d)
+	for c, v := range pre {
+		if v > 0 {
+			out.Data[c] = v
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the ReLU and the weighted sum,
+// accumulating ∂L/∂W.
+func (l *WeightedVertices) Backward(dout *nn.Volume) *nn.Volume {
+	d := l.lastIn.W
+	dpre := make([]float64, d)
+	for c, g := range dout.Data {
+		if l.lastPre[c] > 0 {
+			dpre[c] = g
+		}
+	}
+	din := nn.NewVolume(1, l.K, d)
+	for i := 0; i < l.K; i++ {
+		wi := l.W.Value.Data[i]
+		inRow := l.lastIn.Data[i*d : (i+1)*d]
+		dinRow := din.Data[i*d : (i+1)*d]
+		gw := 0.0
+		for c, g := range dpre {
+			dinRow[c] = wi * g
+			gw += g * inRow[c]
+		}
+		l.W.Grad.Data[i] += gw
+	}
+	return din
+}
+
+// Params returns the vertex-weight parameter.
+func (l *WeightedVertices) Params() []*nn.Param { return []*nn.Param{l.W} }
+
+var _ nn.Layer = (*WeightedVertices)(nil)

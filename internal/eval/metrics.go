@@ -1,0 +1,224 @@
+// Package eval implements the paper's evaluation methodology: per-family
+// precision/recall/F1 (Tables III and V), overall accuracy and mean
+// negative-log-likelihood loss (Table IV), confusion matrices, and the
+// stratified five-fold cross-validation harness of Section V-B.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ClassScores holds one family's precision, recall and F1.
+type ClassScores struct {
+	Class     string
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// Metrics aggregates a classification run's quality measures.
+type Metrics struct {
+	Classes   []ClassScores
+	Accuracy  float64
+	MeanNLL   float64
+	Confusion [][]int // [true][predicted]
+	N         int
+}
+
+// Compute derives all metrics from ground-truth labels, predictions and
+// (optionally, may be nil) predicted probability vectors for the NLL.
+func Compute(classNames []string, labels, preds []int, probs [][]float64) (*Metrics, error) {
+	if len(labels) != len(preds) {
+		return nil, fmt.Errorf("eval: %d labels vs %d predictions", len(labels), len(preds))
+	}
+	if probs != nil && len(probs) != len(labels) {
+		return nil, fmt.Errorf("eval: %d probability rows vs %d labels", len(probs), len(labels))
+	}
+	c := len(classNames)
+	confusion := make([][]int, c)
+	for i := range confusion {
+		confusion[i] = make([]int, c)
+	}
+	correct := 0
+	nll := 0.0
+	for i, y := range labels {
+		p := preds[i]
+		if y < 0 || y >= c || p < 0 || p >= c {
+			return nil, fmt.Errorf("eval: sample %d label %d / pred %d out of range", i, y, p)
+		}
+		confusion[y][p]++
+		if y == p {
+			correct++
+		}
+		if probs != nil {
+			pv := probs[i][y]
+			if pv < 1e-15 {
+				pv = 1e-15
+			}
+			nll += -math.Log(pv)
+		}
+	}
+	m := &Metrics{Confusion: confusion, N: len(labels)}
+	if m.N > 0 {
+		m.Accuracy = float64(correct) / float64(m.N)
+		if probs != nil {
+			m.MeanNLL = nll / float64(m.N)
+		}
+	}
+	for k := 0; k < c; k++ {
+		tp := confusion[k][k]
+		fp, fn := 0, 0
+		for j := 0; j < c; j++ {
+			if j != k {
+				fp += confusion[j][k]
+				fn += confusion[k][j]
+			}
+		}
+		s := ClassScores{Class: classNames[k], Support: tp + fn}
+		if tp+fp > 0 {
+			s.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			s.Recall = float64(tp) / float64(tp+fn)
+		}
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+		m.Classes = append(m.Classes, s)
+	}
+	return m, nil
+}
+
+// MacroF1 returns the unweighted mean F1 across classes with support.
+func (m *Metrics) MacroF1() float64 {
+	sum, n := 0.0, 0
+	for _, c := range m.Classes {
+		if c.Support > 0 {
+			sum += c.F1
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ScoreFor returns the scores of the named class.
+func (m *Metrics) ScoreFor(class string) (ClassScores, bool) {
+	for _, c := range m.Classes {
+		if c.Class == class {
+			return c, true
+		}
+	}
+	return ClassScores{}, false
+}
+
+// Table renders the per-family table in the layout of Tables III and V.
+func (m *Metrics) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %10s %10s %10s %8s\n", "Family", "Precision", "Recall", "F1", "Support")
+	for _, c := range m.Classes {
+		fmt.Fprintf(&sb, "%-16s %10.6f %10.6f %10.6f %8d\n", c.Class, c.Precision, c.Recall, c.F1, c.Support)
+	}
+	fmt.Fprintf(&sb, "%-16s %10.4f    mean NLL %8.4f    n=%d\n", "Accuracy", m.Accuracy, m.MeanNLL, m.N)
+	return sb.String()
+}
+
+// ConfusionTable renders the confusion matrix with class names.
+func (m *Metrics) ConfusionTable(classNames []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s", "true\\pred")
+	for _, n := range classNames {
+		fmt.Fprintf(&sb, " %6.6s", n)
+	}
+	sb.WriteString("\n")
+	for i, row := range m.Confusion {
+		name := fmt.Sprintf("class%d", i)
+		if i < len(classNames) {
+			name = classNames[i]
+		}
+		fmt.Fprintf(&sb, "%-14.14s", name)
+		for _, v := range row {
+			fmt.Fprintf(&sb, " %6d", v)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ScoresFigure renders the per-family precision/recall/F1 bars in the style
+// of Figures 9 and 10.
+func (m *Metrics) ScoresFigure(title string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	bar := func(v float64) string {
+		n := int(v * 40)
+		if n < 0 {
+			n = 0
+		}
+		return strings.Repeat("█", n)
+	}
+	for _, c := range m.Classes {
+		fmt.Fprintf(&sb, "%-16s P %.3f %s\n", c.Class, c.Precision, bar(c.Precision))
+		fmt.Fprintf(&sb, "%-16s R %.3f %s\n", "", c.Recall, bar(c.Recall))
+		fmt.Fprintf(&sb, "%-16s F %.3f %s\n", "", c.F1, bar(c.F1))
+	}
+	return sb.String()
+}
+
+// Average merges fold metrics by averaging accuracy, NLL and per-class
+// scores (weighted equally per fold, like the paper's "averaged over the
+// five validation sets").
+func Average(folds []*Metrics) *Metrics {
+	if len(folds) == 0 {
+		return &Metrics{}
+	}
+	out := &Metrics{}
+	classIdx := make(map[string]int)
+	for _, f := range folds {
+		out.Accuracy += f.Accuracy
+		out.MeanNLL += f.MeanNLL
+		out.N += f.N
+		// Confusion matrices sum across folds (every sample is validated
+		// exactly once in k-fold CV, so the sum is the full-corpus
+		// confusion).
+		if out.Confusion == nil {
+			out.Confusion = make([][]int, len(f.Confusion))
+			for i := range out.Confusion {
+				out.Confusion[i] = make([]int, len(f.Confusion[i]))
+			}
+		}
+		for i, row := range f.Confusion {
+			for j, v := range row {
+				out.Confusion[i][j] += v
+			}
+		}
+		for _, c := range f.Classes {
+			i, ok := classIdx[c.Class]
+			if !ok {
+				i = len(out.Classes)
+				classIdx[c.Class] = i
+				out.Classes = append(out.Classes, ClassScores{Class: c.Class})
+			}
+			out.Classes[i].Precision += c.Precision
+			out.Classes[i].Recall += c.Recall
+			out.Classes[i].F1 += c.F1
+			out.Classes[i].Support += c.Support
+		}
+	}
+	k := float64(len(folds))
+	out.Accuracy /= k
+	out.MeanNLL /= k
+	for i := range out.Classes {
+		out.Classes[i].Precision /= k
+		out.Classes[i].Recall /= k
+		out.Classes[i].F1 /= k
+	}
+	sort.Slice(out.Classes, func(i, j int) bool { return classIdx[out.Classes[i].Class] < classIdx[out.Classes[j].Class] })
+	return out
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/malgen"
+)
+
+// quick returns options small enough for unit testing (2 folds, 8 epochs).
+func quick(samples int) Options {
+	return Options{Samples: samples, Epochs: 8, Folds: 2, Seed: 1}
+}
+
+func TestFigure7Distribution(t *testing.T) {
+	dist, err := Figure7(quick(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 9 {
+		t.Fatalf("families = %d, want 9", len(dist))
+	}
+	byName := make(map[string]int)
+	total := 0
+	for _, d := range dist {
+		byName[d.Family] = d.Count
+		total += d.Count
+	}
+	if total < 120 {
+		t.Fatalf("total = %d", total)
+	}
+	// Figure 7 shape: Kelihos_ver3 > Lollipop > ... > Simda.
+	if byName["Kelihos_ver3"] < byName["Vundo"] || byName["Lollipop"] < byName["Simda"] {
+		t.Fatalf("distribution shape wrong: %v", byName)
+	}
+	text := FormatDistribution("Figure 7", dist)
+	if !strings.Contains(text, "Ramnit") || !strings.Contains(text, "#") {
+		t.Fatalf("format: %s", text)
+	}
+}
+
+func TestFigure8Distribution(t *testing.T) {
+	dist, err := Figure8(quick(130))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 13 {
+		t.Fatalf("classes = %d, want 13", len(dist))
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-scale test")
+	}
+	cv, err := Table3(quick(140))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Folds) != 2 {
+		t.Fatalf("folds = %d", len(cv.Folds))
+	}
+	if cv.Mean.Accuracy < 0.5 {
+		t.Fatalf("accuracy %.3f is below sanity threshold even for a 3-epoch run", cv.Mean.Accuracy)
+	}
+	if len(cv.Mean.Classes) != 9 {
+		t.Fatalf("classes = %d", len(cv.Mean.Classes))
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-scale test")
+	}
+	rows, err := Table4(quick(110))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (MAGIC + 5 baselines)", len(rows))
+	}
+	if rows[0].Approach != "MAGIC (DGCNN)" {
+		t.Fatalf("first row = %s", rows[0].Approach)
+	}
+	for _, r := range rows {
+		if r.Accuracy <= 0 || r.Accuracy > 1 {
+			t.Fatalf("%s accuracy %v", r.Approach, r.Accuracy)
+		}
+	}
+	text := FormatTable4(rows)
+	if !strings.Contains(text, "MAGIC") || !strings.Contains(text, "Log Loss") {
+		t.Fatalf("format: %s", text)
+	}
+}
+
+func TestFigure11Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-scale test")
+	}
+	rows, magicCV, err := Figure11(quick(140))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if magicCV == nil || len(magicCV.Folds) != 2 {
+		t.Fatal("Figure11 must return the MAGIC CV result")
+	}
+	text := FormatFigure11(rows)
+	if !strings.Contains(text, "MAGIC F1") {
+		t.Fatalf("format: %s", text)
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep-scale test")
+	}
+	o := quick(100)
+	res, err := Table2(o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) < 4 {
+		t.Fatalf("settings = %d", len(res.Results))
+	}
+	// Best must be first.
+	for _, r := range res.Results[1:] {
+		if r.ValLoss < res.Best.ValLoss {
+			t.Fatal("best is not minimal")
+		}
+	}
+	text := FormatTable2(res, 5)
+	if !strings.Contains(text, "ValLoss") {
+		t.Fatalf("format: %s", text)
+	}
+}
+
+func TestMeasureOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-scale test")
+	}
+	oh, err := MeasureOverhead(quick(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh.ACFGBuild <= 0 || oh.TrainPerInstance <= 0 || oh.PredPerInstance <= 0 {
+		t.Fatalf("overhead = %+v", oh)
+	}
+	// Training an instance must cost more than predicting it.
+	if oh.TrainPerInstance < oh.PredPerInstance {
+		t.Logf("note: train %v < predict %v (possible at tiny scale)", oh.TrainPerInstance, oh.PredPerInstance)
+	}
+}
+
+func TestAblateHeadsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-scale test")
+	}
+	rows, err := AblateHeads(quick(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("variants = %d", len(rows))
+	}
+	text := FormatAblation(rows)
+	if !strings.Contains(text, "WeightedVertices") {
+		t.Fatalf("format: %s", text)
+	}
+}
+
+func TestAblateAttributesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-scale test")
+	}
+	rows, err := AblateAttributes(quick(90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("variants = %d", len(rows))
+	}
+}
+
+func TestObfuscationRobustnessQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-scale test")
+	}
+	rows, err := ObfuscationRobustness(quick(110), []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Intensity != 0 || rows[1].Intensity != 1 {
+		t.Fatalf("intensities = %v", rows)
+	}
+	// Obfuscated code must actually have grown.
+	if rows[1].MeanGrowth <= rows[0].MeanGrowth {
+		t.Fatalf("growth did not increase: %v", rows)
+	}
+	if rows[0].MeanGrowth < 0.99 || rows[0].MeanGrowth > 1.01 {
+		t.Fatalf("clean growth = %v, want ~1", rows[0].MeanGrowth)
+	}
+	text := FormatRobustness(rows)
+	if !strings.Contains(text, "Intensity") {
+		t.Fatalf("format: %s", text)
+	}
+}
+
+func TestMaskAttributesZeroesColumns(t *testing.T) {
+	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked := maskAttributes(d, []int{0})
+	for _, s := range masked.Samples {
+		for i := 0; i < s.ACFG.Attrs.Rows; i++ {
+			row := s.ACFG.Attrs.Row(i)
+			for c := 1; c < len(row); c++ {
+				if row[c] != 0 {
+					t.Fatalf("column %d not masked", c)
+				}
+			}
+		}
+	}
+	// Originals untouched.
+	touched := false
+	for _, s := range d.Samples {
+		for i := 0; i < s.ACFG.Attrs.Rows && !touched; i++ {
+			row := s.ACFG.Attrs.Row(i)
+			for c := 1; c < len(row); c++ {
+				if row[c] != 0 {
+					touched = true
+					break
+				}
+			}
+		}
+	}
+	if !touched {
+		t.Fatal("masking must not modify the source dataset")
+	}
+}
+
+func TestObfuscationRobustnessAugmentedQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-scale test")
+	}
+	clean, err := ObfuscationRobustness(quick(110), []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := ObfuscationRobustnessAugmented(quick(110), []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clean-trained %.3f vs augmented %.3f at intensity 1", clean[0].Accuracy, aug[0].Accuracy)
+	// Augmented training should never be much worse on obfuscated inputs.
+	if aug[0].Accuracy < clean[0].Accuracy-0.1 {
+		t.Fatalf("augmentation hurt: clean %.3f aug %.3f", clean[0].Accuracy, aug[0].Accuracy)
+	}
+}

@@ -1,0 +1,269 @@
+// Package graph provides the directed-graph substrate for the DGCNN malware
+// classifier. A control flow graph is modelled as a Directed graph whose
+// vertices are basic-block indices; the package supplies the augmented
+// adjacency matrix Ā = A + I, the augmented diagonal degree matrix D̄, and
+// the normalized propagation operator D̄⁻¹Ā used by the graph-convolution
+// layers (Section III-A of the paper), in a sparse form suitable for
+// repeated multiplication against attribute matrices.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Directed is a simple directed graph on vertices 0..N-1 using adjacency
+// lists. Parallel edges are collapsed; self loops are allowed (although the
+// augmented adjacency adds its own).
+type Directed struct {
+	n   int
+	out [][]int        // sorted successor lists
+	set []map[int]bool // membership for O(1) HasEdge / dedup
+}
+
+// NewDirected returns an empty graph with n vertices.
+func NewDirected(n int) *Directed {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	g := &Directed{
+		n:   n,
+		out: make([][]int, n),
+		set: make([]map[int]bool, n),
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Directed) N() int { return g.n }
+
+// AddEdge inserts the directed edge u→v. Duplicate insertions are ignored.
+// It panics on out-of-range vertices (programming error).
+func (g *Directed) AddEdge(u, v int) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, g.n))
+	}
+	if g.set[u] == nil {
+		g.set[u] = make(map[int]bool)
+	}
+	if g.set[u][v] {
+		return
+	}
+	g.set[u][v] = true
+	g.out[u] = append(g.out[u], v)
+}
+
+// HasEdge reports whether u→v exists.
+func (g *Directed) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n {
+		return false
+	}
+	return g.set[u][v]
+}
+
+// Succ returns the successors of u. The returned slice is sorted and must
+// not be modified.
+func (g *Directed) Succ(u int) []int {
+	sort.Ints(g.out[u])
+	return g.out[u]
+}
+
+// OutDegree returns the number of successors of u (the "# offspring"
+// attribute of Table I).
+func (g *Directed) OutDegree(u int) int { return len(g.out[u]) }
+
+// NumEdges returns the total number of directed edges.
+func (g *Directed) NumEdges() int {
+	total := 0
+	for _, s := range g.out {
+		total += len(s)
+	}
+	return total
+}
+
+// Edges returns all edges as (u, v) pairs in deterministic order.
+func (g *Directed) Edges() [][2]int {
+	var es [][2]int
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Succ(u) {
+			es = append(es, [2]int{u, v})
+		}
+	}
+	return es
+}
+
+// Adjacency returns the dense adjacency matrix A (1 where u→v).
+func (g *Directed) Adjacency() *tensor.Matrix {
+	a := tensor.New(g.n, g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			a.Set(u, v, 1)
+		}
+	}
+	return a
+}
+
+// AugmentedAdjacency returns Ā = A + I, which lets a vertex propagate its
+// own attributes back to itself during graph convolution.
+func (g *Directed) AugmentedAdjacency() *tensor.Matrix {
+	a := g.Adjacency()
+	for i := 0; i < g.n; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	return a
+}
+
+// AugmentedDegrees returns the diagonal of D̄ where D̄ᵢᵢ = Σⱼ Āᵢⱼ.
+func (g *Directed) AugmentedDegrees() []float64 {
+	d := make([]float64, g.n)
+	for u := 0; u < g.n; u++ {
+		// Every successor contributes 1 (a self loop included) and the
+		// identity augmentation contributes 1 more.
+		d[u] = float64(len(g.out[u])) + 1
+	}
+	return d
+}
+
+// BFSOrder returns the vertices reachable from start in breadth-first order.
+func (g *Directed) BFSOrder(start int) []int {
+	if start < 0 || start >= g.n {
+		return nil
+	}
+	seen := make([]bool, g.n)
+	order := make([]int, 0, g.n)
+	queue := []int{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.Succ(u) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// ReachableFrom returns the number of vertices reachable from start
+// (including start itself).
+func (g *Directed) ReachableFrom(start int) int {
+	return len(g.BFSOrder(start))
+}
+
+// Propagator precomputes the sparse normalized operator P = D̄⁻¹Ā for a
+// graph so that graph convolutions can evaluate P·X without materializing
+// dense n×n matrices. Each row i of P holds 1/D̄ᵢᵢ at column i (self loop)
+// and at every successor column.
+type Propagator struct {
+	n    int
+	cols [][]int     // columns with nonzero entries per row, sorted
+	vals [][]float64 // corresponding values
+}
+
+// NewPropagator builds the propagation operator for g.
+func NewPropagator(g *Directed) *Propagator {
+	p := &Propagator{
+		n:    g.n,
+		cols: make([][]int, g.n),
+		vals: make([][]float64, g.n),
+	}
+	for u := 0; u < g.n; u++ {
+		succ := g.Succ(u)
+		// Build Ā row: self + successors, dedup self loop.
+		cols := make([]int, 0, len(succ)+1)
+		weights := make([]float64, 0, len(succ)+1)
+		selfWeight := 1.0
+		for _, v := range succ {
+			if v == u {
+				selfWeight++ // explicit self loop stacks with the identity term
+				continue
+			}
+			cols = append(cols, v)
+			weights = append(weights, 1)
+		}
+		cols = append(cols, u)
+		weights = append(weights, selfWeight)
+		sort.Sort(&colSorter{cols: cols, vals: weights})
+		deg := 0.0
+		for _, w := range weights {
+			deg += w
+		}
+		for i := range weights {
+			weights[i] /= deg
+		}
+		p.cols[u] = cols
+		p.vals[u] = weights
+	}
+	return p
+}
+
+// N returns the number of vertices the propagator operates on.
+func (p *Propagator) N() int { return p.n }
+
+// Apply computes P·x for an n×c matrix x.
+func (p *Propagator) Apply(x *tensor.Matrix) *tensor.Matrix {
+	if x.Rows != p.n {
+		panic(fmt.Sprintf("graph: propagator n=%d applied to %d-row matrix", p.n, x.Rows))
+	}
+	out := tensor.New(p.n, x.Cols)
+	for i := 0; i < p.n; i++ {
+		orow := out.Row(i)
+		for k, j := range p.cols[i] {
+			w := p.vals[i][k]
+			xrow := x.Row(j)
+			for c, v := range xrow {
+				orow[c] += w * v
+			}
+		}
+	}
+	return out
+}
+
+// ApplyTranspose computes Pᵀ·x, needed to backpropagate gradients through
+// the convolution: if Y = P·X then ∂L/∂X = Pᵀ·(∂L/∂Y).
+func (p *Propagator) ApplyTranspose(x *tensor.Matrix) *tensor.Matrix {
+	if x.Rows != p.n {
+		panic(fmt.Sprintf("graph: propagator n=%d transpose-applied to %d-row matrix", p.n, x.Rows))
+	}
+	out := tensor.New(p.n, x.Cols)
+	for i := 0; i < p.n; i++ {
+		xrow := x.Row(i)
+		for k, j := range p.cols[i] {
+			w := p.vals[i][k]
+			orow := out.Row(j)
+			for c, v := range xrow {
+				orow[c] += w * v
+			}
+		}
+	}
+	return out
+}
+
+// Dense materializes P as a dense matrix, for tests and the paper's worked
+// examples.
+func (p *Propagator) Dense() *tensor.Matrix {
+	m := tensor.New(p.n, p.n)
+	for i := 0; i < p.n; i++ {
+		for k, j := range p.cols[i] {
+			m.Set(i, j, p.vals[i][k])
+		}
+	}
+	return m
+}
+
+type colSorter struct {
+	cols []int
+	vals []float64
+}
+
+func (s *colSorter) Len() int           { return len(s.cols) }
+func (s *colSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *colSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}

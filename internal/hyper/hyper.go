@@ -1,0 +1,255 @@
+// Package hyper implements the exhaustive hyperparameter search of Section
+// V-B / Table II: it enumerates the cartesian grid of pooling types,
+// pooling ratios, graph-convolution sizes, remaining layers and training
+// hyperparameters, evaluates each setting with stratified k-fold
+// cross-validation, and selects the model with the minimum mean validation
+// loss across folds.
+package hyper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// Grid declares the value ranges to sweep (Table II "Choice or Value
+// Range"). Leaving a slice empty pins the corresponding Config default.
+type Grid struct {
+	PoolingTypes   []core.PoolingType
+	PoolingRatios  []float64
+	ConvSizes      [][]int
+	Heads          []core.HeadType // sort-pooling remaining layers
+	Conv2DChannels []int           // adaptive-pooling head
+	Conv1DChannels [][2]int        // conv1d head
+	Conv1DKernels  []int           // conv1d head
+	DropoutRates   []float64
+	BatchSizes     []int
+	WeightDecays   []float64
+}
+
+// PaperGrid returns the full Table II grid (208 settings once conditional
+// applicability is accounted for).
+func PaperGrid() Grid {
+	return Grid{
+		PoolingTypes:   []core.PoolingType{core.AdaptivePooling, core.SortPooling},
+		PoolingRatios:  []float64{0.2, 0.64},
+		ConvSizes:      [][]int{{32, 32, 32, 1}, {32, 32, 32, 32}, {128, 64, 32, 32}},
+		Heads:          []core.HeadType{core.Conv1DHead, core.WeightedVerticesHead},
+		Conv2DChannels: []int{16, 32},
+		Conv1DChannels: [][2]int{{16, 32}},
+		Conv1DKernels:  []int{5, 7},
+		DropoutRates:   []float64{0.1, 0.5},
+		BatchSizes:     []int{10, 40},
+		WeightDecays:   []float64{0.0001, 0.0005},
+	}
+}
+
+// SmallGrid returns a reduced grid sized for single-CPU sweeps; it still
+// covers every pooling type and both of the paper's extensions.
+func SmallGrid() Grid {
+	return Grid{
+		PoolingTypes:   []core.PoolingType{core.AdaptivePooling, core.SortPooling},
+		PoolingRatios:  []float64{0.2, 0.64},
+		ConvSizes:      [][]int{{32, 32, 32, 32}},
+		Heads:          []core.HeadType{core.Conv1DHead, core.WeightedVerticesHead},
+		Conv2DChannels: []int{16},
+		Conv1DChannels: [][2]int{{16, 32}},
+		Conv1DKernels:  []int{5},
+		DropoutRates:   []float64{0.1},
+		BatchSizes:     []int{10},
+		WeightDecays:   []float64{0.0001},
+	}
+}
+
+// Enumerate expands the grid into concrete configurations starting from a
+// base config (which supplies classes, attribute width, epochs, learning
+// rate and seed). Conditional hyperparameters follow Table II's footnotes:
+// the head, Conv1D and Conv2D settings only vary where applicable.
+func (g Grid) Enumerate(base core.Config) []core.Config {
+	var out []core.Config
+	for _, pt := range orDefaultPooling(g.PoolingTypes, base.Pooling) {
+		for _, ratio := range orDefaultF(g.PoolingRatios, base.PoolingRatio) {
+			for _, sizes := range orDefaultSizes(g.ConvSizes, base.ConvSizes) {
+				for _, drop := range orDefaultF(g.DropoutRates, base.DropoutRate) {
+					for _, batch := range orDefaultI(g.BatchSizes, base.BatchSize) {
+						for _, wd := range orDefaultF(g.WeightDecays, base.WeightDecay) {
+							common := base
+							common.Pooling = pt
+							common.PoolingRatio = ratio
+							common.ConvSizes = sizes
+							common.DropoutRate = drop
+							common.BatchSize = batch
+							common.WeightDecay = wd
+							out = append(out, g.expandHead(common)...)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// expandHead expands the conditionally applicable head hyperparameters.
+func (g Grid) expandHead(c core.Config) []core.Config {
+	if c.Pooling == core.AdaptivePooling {
+		var out []core.Config
+		for _, ch := range orDefaultI(g.Conv2DChannels, c.Conv2DChannels) {
+			cc := c
+			cc.Conv2DChannels = ch
+			cc.Head = core.Conv1DHead // ignored in adaptive mode
+			out = append(out, cc)
+		}
+		return out
+	}
+	var out []core.Config
+	for _, head := range orDefaultHead(g.Heads, c.Head) {
+		switch head {
+		case core.Conv1DHead:
+			for _, pair := range orDefaultPairs(g.Conv1DChannels, c.Conv1DChannels) {
+				for _, kernel := range orDefaultI(g.Conv1DKernels, c.Conv1DKernel) {
+					cc := c
+					cc.Head = head
+					cc.Conv1DChannels = pair
+					cc.Conv1DKernel = kernel
+					out = append(out, cc)
+				}
+			}
+		case core.WeightedVerticesHead:
+			cc := c
+			cc.Head = head
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// Result records one setting's cross-validation outcome.
+type Result struct {
+	Config  core.Config
+	CV      *eval.CVResult
+	ValLoss float64 // minimum mean validation loss — the selection score
+}
+
+// SearchOptions tunes the sweep.
+type SearchOptions struct {
+	Folds       int
+	Seed        int64
+	ValFraction float64 // per-fold internal validation carve-out
+	// Workers bounds concurrent configuration evaluations — the CPU
+	// analogue of the paper's parallel training across four GPUs. 0 or 1
+	// evaluates sequentially.
+	Workers int
+	Logf    func(format string, args ...any)
+}
+
+// Search cross-validates every configuration and returns all results
+// sorted by ascending validation loss (best first), mirroring the paper's
+// model selection by minimum average validation loss. Settings are
+// evaluated concurrently when Workers > 1; results are identical either
+// way because every setting derives its seeds from SearchOptions.Seed.
+func Search(d *dataset.Dataset, configs []core.Config, opts SearchOptions) ([]Result, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("hyper: empty grid")
+	}
+	folds := opts.Folds
+	if folds == 0 {
+		folds = 5
+	}
+	evalOne := func(ci int, cfg core.Config) (Result, error) {
+		factory := func(fold int) (eval.Classifier, error) {
+			c := cfg
+			c.Seed = opts.Seed + int64(fold)
+			return &core.Classifier{Cfg: c, ValFraction: opts.ValFraction}, nil
+		}
+		cv, err := eval.CrossValidate(d, folds, opts.Seed, factory)
+		if err != nil {
+			return Result{}, fmt.Errorf("hyper: config %d: %w", ci, err)
+		}
+		r := Result{Config: cfg, CV: cv, ValLoss: cv.Mean.MeanNLL}
+		if opts.Logf != nil {
+			opts.Logf("config %d/%d: %v ratio=%.2f conv=%v loss=%.4f acc=%.4f",
+				ci+1, len(configs), cfg.Pooling, cfg.PoolingRatio, cfg.ConvSizes,
+				r.ValLoss, cv.Mean.Accuracy)
+		}
+		return r, nil
+	}
+
+	results := make([]Result, len(configs))
+	errs := make([]error, len(configs))
+	if opts.Workers > 1 {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range jobs {
+					results[ci], errs[ci] = evalOne(ci, configs[ci])
+				}
+			}()
+		}
+		for ci := range configs {
+			jobs <- ci
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for ci, cfg := range configs {
+			results[ci], errs[ci] = evalOne(ci, cfg)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].ValLoss < results[j].ValLoss })
+	return results, nil
+}
+
+func orDefaultF(vals []float64, def float64) []float64 {
+	if len(vals) == 0 {
+		return []float64{def}
+	}
+	return vals
+}
+
+func orDefaultI(vals []int, def int) []int {
+	if len(vals) == 0 {
+		return []int{def}
+	}
+	return vals
+}
+
+func orDefaultSizes(vals [][]int, def []int) [][]int {
+	if len(vals) == 0 {
+		return [][]int{def}
+	}
+	return vals
+}
+
+func orDefaultPairs(vals [][2]int, def [2]int) [][2]int {
+	if len(vals) == 0 {
+		return [][2]int{def}
+	}
+	return vals
+}
+
+func orDefaultPooling(vals []core.PoolingType, def core.PoolingType) []core.PoolingType {
+	if len(vals) == 0 {
+		return []core.PoolingType{def}
+	}
+	return vals
+}
+
+func orDefaultHead(vals []core.HeadType, def core.HeadType) []core.HeadType {
+	if len(vals) == 0 {
+		return []core.HeadType{def}
+	}
+	return vals
+}

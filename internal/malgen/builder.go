@@ -1,0 +1,217 @@
+// Package malgen generates the synthetic malware corpora that stand in for
+// the paper's two proprietary datasets (see DESIGN.md "Substitutions"):
+//
+//   - MSKCFG mode emits x86-style disassembly text per sample — nine family
+//     templates with Figure 7 population ratios — which is then pushed
+//     through the real parser → CFG builder → ACFG extractor pipeline,
+//     exactly like the paper processes the Microsoft .asm files.
+//   - YANCFG mode emits pre-built ACFGs directly — thirteen class templates
+//     with Figure 8 population ratios — mirroring that the paper received
+//     that dataset as already-extracted CFGs.
+//
+// All generation is deterministic for a given seed.
+package malgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// progBuilder assembles a synthetic program as an ordered list of basic
+// blocks whose jump/call targets are symbolic block indices, resolved to
+// addresses after layout.
+type progBuilder struct {
+	rng    *rand.Rand
+	blocks []*blockBuf
+}
+
+// blockBuf is one basic block under construction.
+type blockBuf struct {
+	instrs []binstr
+}
+
+// binstr is an instruction with an optional symbolic target.
+type binstr struct {
+	mnemonic string
+	operands []string
+	target   int // block index the first operand resolves to, or -1
+	size     int // encoded size in bytes
+}
+
+func newProgBuilder(rng *rand.Rand) *progBuilder {
+	return &progBuilder{rng: rng}
+}
+
+// newBlock appends an empty block and returns its index.
+func (b *progBuilder) newBlock() int {
+	b.blocks = append(b.blocks, &blockBuf{})
+	return len(b.blocks) - 1
+}
+
+// emit appends a plain instruction to block blk.
+func (b *progBuilder) emit(blk int, mnemonic string, operands ...string) {
+	b.blocks[blk].instrs = append(b.blocks[blk].instrs, binstr{
+		mnemonic: mnemonic,
+		operands: operands,
+		target:   -1,
+		size:     2 + b.rng.Intn(5),
+	})
+}
+
+// emitJump appends a control transfer whose first operand is the address of
+// block target.
+func (b *progBuilder) emitJump(blk int, mnemonic string, target int) {
+	b.blocks[blk].instrs = append(b.blocks[blk].instrs, binstr{
+		mnemonic: mnemonic,
+		target:   target,
+		size:     2 + b.rng.Intn(4),
+	})
+}
+
+// render lays the blocks out sequentially from base, resolves symbolic
+// targets and returns the program text. Empty blocks are padded with nop so
+// every block owns at least one address.
+func (b *progBuilder) render(base uint64) string {
+	for _, blk := range b.blocks {
+		if len(blk.instrs) == 0 {
+			blk.instrs = append(blk.instrs, binstr{mnemonic: "nop", target: -1, size: 1})
+		}
+	}
+	starts := make([]uint64, len(b.blocks))
+	addr := base
+	for i, blk := range b.blocks {
+		starts[i] = addr
+		for _, in := range blk.instrs {
+			addr += uint64(in.size)
+		}
+	}
+	var sb strings.Builder
+	addr = base
+	for _, blk := range b.blocks {
+		for _, in := range blk.instrs {
+			sb.WriteString(fmt.Sprintf("%08x %s", addr, in.mnemonic))
+			if in.target >= 0 {
+				sb.WriteString(fmt.Sprintf(" 0x%x", starts[in.target]))
+			} else {
+				for k, op := range in.operands {
+					if k == 0 {
+						sb.WriteString(" " + op)
+					} else {
+						sb.WriteString(", " + op)
+					}
+				}
+			}
+			sb.WriteString("\n")
+			addr += uint64(in.size)
+		}
+	}
+	return sb.String()
+}
+
+// registers used when synthesizing operands.
+var registers = []string{"eax", "ebx", "ecx", "edx", "esi", "edi", "ebp"}
+
+func (b *progBuilder) reg() string {
+	return registers[b.rng.Intn(len(registers))]
+}
+
+func (b *progBuilder) imm() string {
+	return fmt.Sprintf("%d", b.rng.Intn(4096))
+}
+
+func (b *progBuilder) mem() string {
+	return fmt.Sprintf("[%s+%d]", b.reg(), b.rng.Intn(64)*4)
+}
+
+// fillBlock emits n body instructions into blk drawn from the family's
+// instruction mix.
+func (b *progBuilder) fillBlock(blk, n int, mix InstrMix, callTargets []int) {
+	total := mix.Mov + mix.Arith + mix.Compare + mix.Stack + mix.Junk + mix.Data
+	if total <= 0 {
+		total = 1
+		mix.Mov = 1
+	}
+	for i := 0; i < n; i++ {
+		r := b.rng.Float64() * total
+		switch {
+		case r < mix.Mov:
+			b.emitMov(blk)
+		case r < mix.Mov+mix.Arith:
+			b.emitArith(blk)
+		case r < mix.Mov+mix.Arith+mix.Compare:
+			b.emit(blk, "cmp", b.reg(), b.imm())
+		case r < mix.Mov+mix.Arith+mix.Compare+mix.Stack:
+			if b.rng.Intn(2) == 0 {
+				b.emit(blk, "push", b.reg())
+			} else {
+				b.emit(blk, "pop", b.reg())
+			}
+		case r < mix.Mov+mix.Arith+mix.Compare+mix.Stack+mix.Junk:
+			b.emitJunk(blk)
+		default:
+			b.emitData(blk)
+		}
+	}
+	// Optional call in the middle of the block's flow (falls through).
+	if len(callTargets) > 0 && b.rng.Float64() < mix.CallProb {
+		b.emitJump(blk, "call", callTargets[b.rng.Intn(len(callTargets))])
+	}
+}
+
+func (b *progBuilder) emitMov(blk int) {
+	switch b.rng.Intn(4) {
+	case 0:
+		b.emit(blk, "mov", b.reg(), b.imm())
+	case 1:
+		b.emit(blk, "mov", b.reg(), b.reg())
+	case 2:
+		b.emit(blk, "mov", b.reg(), b.mem())
+	default:
+		b.emit(blk, "lea", b.reg(), b.mem())
+	}
+}
+
+var arithMnemonics = []string{"add", "sub", "xor", "and", "or", "shl", "shr", "imul", "inc", "dec"}
+
+func (b *progBuilder) emitArith(blk int) {
+	m := arithMnemonics[b.rng.Intn(len(arithMnemonics))]
+	if m == "inc" || m == "dec" {
+		b.emit(blk, m, b.reg())
+		return
+	}
+	if b.rng.Intn(2) == 0 {
+		b.emit(blk, m, b.reg(), b.imm())
+	} else {
+		b.emit(blk, m, b.reg(), b.reg())
+	}
+}
+
+func (b *progBuilder) emitJunk(blk int) {
+	switch b.rng.Intn(3) {
+	case 0:
+		b.emit(blk, "nop")
+	case 1:
+		r := b.reg()
+		b.emit(blk, "xchg", r, r)
+	default:
+		b.emit(blk, "test", b.reg(), b.reg())
+	}
+}
+
+func (b *progBuilder) emitData(blk int) {
+	switch b.rng.Intn(3) {
+	case 0:
+		b.emit(blk, "db", fmt.Sprintf("0x%x", b.rng.Intn(256)))
+	case 1:
+		b.emit(blk, "dw", fmt.Sprintf("0x%x", b.rng.Intn(65536)))
+	default:
+		b.emit(blk, "dd", fmt.Sprintf("0x%x", b.rng.Intn(1<<30)))
+	}
+}
+
+var condJumps = []string{"jnz", "jz", "jg", "jl", "jge", "jle", "ja", "jb"}
+
+func (b *progBuilder) condJump() string {
+	return condJumps[b.rng.Intn(len(condJumps))]
+}

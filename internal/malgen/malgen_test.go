@@ -1,0 +1,251 @@
+package malgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/acfg"
+	"repro/internal/asm"
+	"repro/internal/cfg"
+)
+
+func TestGenerateProgramParses(t *testing.T) {
+	for label := range mskProfiles {
+		p := MSKProfileFor(label)
+		for seed := int64(0); seed < 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			text := GenerateProgram(rng, p)
+			prog, err := asm.ParseString(text)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", p.Name, seed, err)
+			}
+			if prog.Len() < 10 {
+				t.Fatalf("%s seed %d: only %d instructions", p.Name, seed, prog.Len())
+			}
+			c := cfg.Build(prog)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s seed %d: %v", p.Name, seed, err)
+			}
+			if c.NumBlocks() < 3 {
+				t.Fatalf("%s seed %d: only %d blocks", p.Name, seed, c.NumBlocks())
+			}
+			if c.NumEdges() == 0 {
+				t.Fatalf("%s seed %d: no edges", p.Name, seed)
+			}
+		}
+	}
+}
+
+func TestGenerateProgramDeterministic(t *testing.T) {
+	p := MSKProfileFor(0)
+	a := GenerateProgram(rand.New(rand.NewSource(7)), p)
+	b := GenerateProgram(rand.New(rand.NewSource(7)), p)
+	if a != b {
+		t.Fatal("program generation not deterministic per seed")
+	}
+	c := GenerateProgram(rand.New(rand.NewSource(8)), p)
+	if a == c {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestMSKCFGCorpus(t *testing.T) {
+	d, err := MSKCFG(Options{TotalSamples: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClasses() != 9 {
+		t.Fatalf("classes = %d, want 9", d.NumClasses())
+	}
+	counts := d.CountByClass()
+	for c, n := range counts {
+		if n < 2 {
+			t.Fatalf("family %s has %d samples, want >= 2", d.Families[c], n)
+		}
+	}
+	// Figure 7 shape: Kelihos_ver3 (idx 2) is the largest family and
+	// Simda (idx 4) the smallest.
+	for c := range counts {
+		if counts[c] > counts[2] {
+			t.Fatalf("family %s (%d) larger than Kelihos_ver3 (%d)", d.Families[c], counts[c], counts[2])
+		}
+		if c != 4 && counts[c] < counts[4] {
+			t.Fatalf("family %s (%d) smaller than Simda (%d)", d.Families[c], counts[c], counts[4])
+		}
+	}
+	// Every sample has a non-trivial ACFG with the right attribute width.
+	for _, s := range d.Samples {
+		if s.ACFG.NumVertices() < 3 {
+			t.Fatalf("sample %s has %d vertices", s.Name, s.ACFG.NumVertices())
+		}
+		if s.ACFG.Attrs.Cols != acfg.NumAttributes {
+			t.Fatalf("sample %s attr width %d", s.Name, s.ACFG.Attrs.Cols)
+		}
+	}
+}
+
+func TestMSKCFGTooSmall(t *testing.T) {
+	if _, err := MSKCFG(Options{TotalSamples: 5, Seed: 1}); err == nil {
+		t.Fatal("want error for tiny corpus")
+	}
+}
+
+func TestMSKCFGDeterministic(t *testing.T) {
+	d1, err := MSKCFG(Options{TotalSamples: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := MSKCFG(Options{TotalSamples: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Samples {
+		a, b := d1.Samples[i], d2.Samples[i]
+		if a.Name != b.Name || a.ACFG.NumVertices() != b.ACFG.NumVertices() {
+			t.Fatal("MSKCFG generation not deterministic")
+		}
+	}
+}
+
+func TestMSKCFGParallelMatchesSequential(t *testing.T) {
+	seq, err := MSKCFG(Options{TotalSamples: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MSKCFG(Options{TotalSamples: 40, Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() != par.Len() {
+		t.Fatalf("lengths differ: %d vs %d", seq.Len(), par.Len())
+	}
+	for i := range seq.Samples {
+		a, b := seq.Samples[i], par.Samples[i]
+		if a.Name != b.Name || a.Label != b.Label ||
+			a.ACFG.NumVertices() != b.ACFG.NumVertices() ||
+			a.ACFG.Graph.NumEdges() != b.ACFG.Graph.NumEdges() {
+			t.Fatalf("sample %d differs between sequential and parallel generation", i)
+		}
+	}
+}
+
+func TestYANCFGCorpus(t *testing.T) {
+	d, err := YANCFG(Options{TotalSamples: 80, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClasses() != 13 {
+		t.Fatalf("classes = %d, want 13", d.NumClasses())
+	}
+	counts := d.CountByClass()
+	idx := func(name string) int {
+		for i, f := range d.Families {
+			if f == name {
+				return i
+			}
+		}
+		t.Fatalf("family %s missing", name)
+		return -1
+	}
+	// Figure 8 shape: Hupigon largest; Ldpinch among the smallest.
+	hup, ldp := counts[idx("Hupigon")], counts[idx("Ldpinch")]
+	if hup <= ldp {
+		t.Fatalf("Hupigon (%d) should outnumber Ldpinch (%d)", hup, ldp)
+	}
+	for _, s := range d.Samples {
+		if s.ACFG.NumVertices() < 5 {
+			t.Fatalf("sample %s has %d vertices", s.Name, s.ACFG.NumVertices())
+		}
+		// Attribute sanity: category counts never exceed total.
+		for i := 0; i < s.ACFG.NumVertices(); i++ {
+			row := s.ACFG.Attrs.Row(i)
+			total := row[acfg.AttrTotalInstructions]
+			for _, a := range []int{acfg.AttrMov, acfg.AttrArithmetic, acfg.AttrCompare, acfg.AttrCall, acfg.AttrDataDeclaration} {
+				if row[a] > total {
+					t.Fatalf("sample %s vertex %d: attr %d (%v) exceeds total %v", s.Name, i, a, row[a], total)
+				}
+			}
+		}
+	}
+}
+
+func TestYANCFGDeterministic(t *testing.T) {
+	d1, _ := YANCFG(Options{TotalSamples: 40, Seed: 9})
+	d2, _ := YANCFG(Options{TotalSamples: 40, Seed: 9})
+	for i := range d1.Samples {
+		if d1.Samples[i].ACFG.NumVertices() != d2.Samples[i].ACFG.NumVertices() {
+			t.Fatal("YANCFG generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateACFGAllSkeletons(t *testing.T) {
+	for label := range yanProfiles {
+		p := YanProfileFor(label)
+		rng := rand.New(rand.NewSource(int64(label)))
+		a := GenerateACFG(rng, p)
+		if a.NumVertices() < p.VertMin || a.NumVertices() > p.VertMax {
+			t.Fatalf("%s: %d vertices outside [%d, %d]", p.Name, a.NumVertices(), p.VertMin, p.VertMax)
+		}
+		if a.Graph.NumEdges() < a.NumVertices()-1 {
+			t.Fatalf("%s: skeleton chain missing (%d edges, %d vertices)", p.Name, a.Graph.NumEdges(), a.NumVertices())
+		}
+		// Connectivity along the layout chain: everything reachable from 0.
+		if got := a.Graph.ReachableFrom(0); got != a.NumVertices() {
+			t.Fatalf("%s: only %d/%d vertices reachable from entry", p.Name, got, a.NumVertices())
+		}
+	}
+}
+
+func TestConfusablePairsShareSkeleton(t *testing.T) {
+	get := func(name string) YanProfile {
+		for _, p := range yanProfiles {
+			if p.Name == name {
+				return p
+			}
+		}
+		t.Fatalf("profile %s missing", name)
+		return YanProfile{}
+	}
+	if get("Rbot").Skeleton != get("Sdbot").Skeleton {
+		t.Fatal("Rbot and Sdbot must share the IRC-bot skeleton")
+	}
+	if get("Ldpinch").Skeleton != get("Lmir").Skeleton {
+		t.Fatal("Ldpinch and Lmir must share the stealer skeleton")
+	}
+	if get("Benign").Skeleton == get("Rbot").Skeleton {
+		t.Fatal("Benign must not share the bot skeleton")
+	}
+}
+
+func TestFamilyNameOrder(t *testing.T) {
+	msk := MSKCFGFamilies()
+	if len(msk) != 9 || msk[0] != "Ramnit" || msk[8] != "Gatak" {
+		t.Fatalf("MSK families = %v", msk)
+	}
+	yan := YANCFGFamilies()
+	if len(yan) != 13 || yan[0] != "Bagle" || yan[12] != "Zlob" {
+		t.Fatalf("YAN families = %v", yan)
+	}
+}
+
+func TestApportionConservesTotal(t *testing.T) {
+	for _, total := range []int{60, 123, 500, 1000} {
+		counts := apportion(total, mskProfiles)
+		sum := 0
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != total && sum < total {
+			t.Fatalf("apportion(%d) sums to %d", total, sum)
+		}
+		yc := apportionYan(total)
+		ysum := 0
+		for _, c := range yc {
+			ysum += c
+		}
+		if ysum < total-len(yanProfiles)*2 {
+			t.Fatalf("apportionYan(%d) sums to %d", total, ysum)
+		}
+	}
+}

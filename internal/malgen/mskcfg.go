@@ -1,0 +1,284 @@
+package malgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/acfg"
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/dataset"
+)
+
+// GenerateProgram synthesizes one disassembly listing for the given family
+// profile. The program consists of FuncMin..FuncMax functions laid out
+// sequentially; each function is a chain of structured segments (straight
+// code, loops, if/else diamonds, switch dispatches) ending in ret, with
+// cross-function call sites drawn per the family's call probability.
+func GenerateProgram(rng *rand.Rand, p MSKProfile) string {
+	b := newProgBuilder(rng)
+	nFuncs := p.FuncMin + rng.Intn(p.FuncMax-p.FuncMin+1)
+
+	// Blocks must be created in layout order, so each function's entry is
+	// created right before its body; call sites may target any function
+	// generated so far (including the current one, allowing recursion).
+	var entries []int
+	for f := 0; f < nFuncs; f++ {
+		entry := b.newBlock()
+		entries = append(entries, entry)
+		targets := make([]int, len(entries))
+		copy(targets, entries)
+		genFunction(b, p, entry, targets)
+	}
+	return b.render(0x401000)
+}
+
+// genFunction emits a function's structured body starting at entry.
+// callTargets are entry blocks this function may call.
+func genFunction(b *progBuilder, p MSKProfile, entry int, callTargets []int) {
+	b.emit(entry, "push", "ebp")
+	b.emit(entry, "mov", "ebp", "esp")
+	curr := entry
+	nSegs := p.SegMin + b.rng.Intn(p.SegMax-p.SegMin+1)
+	for s := 0; s < nSegs; s++ {
+		curr = genSegment(b, p, curr, callTargets)
+	}
+	b.fillBlock(curr, blockLen(b, p), p.Mix, nil)
+	b.emit(curr, "pop", "ebp")
+	b.emit(curr, "ret")
+}
+
+// genSegment appends one structured segment after block curr and returns
+// the join block where subsequent code continues.
+func genSegment(b *progBuilder, p MSKProfile, curr int, callTargets []int) int {
+	r := b.rng.Float64()
+	switch {
+	case r < p.LoopProb:
+		return genLoop(b, p, curr, callTargets)
+	case r < p.LoopProb+p.DiamondProb:
+		return genDiamond(b, p, curr, callTargets)
+	case r < p.LoopProb+p.DiamondProb+p.SwitchProb:
+		return genSwitch(b, p, curr, callTargets)
+	default:
+		b.fillBlock(curr, blockLen(b, p), p.Mix, callTargets)
+		return curr
+	}
+}
+
+// genLoop: curr falls into body; body jumps back to itself and falls
+// through to the exit block.
+func genLoop(b *progBuilder, p MSKProfile, curr int, callTargets []int) int {
+	b.fillBlock(curr, blockLen(b, p), p.Mix, callTargets)
+	b.emit(curr, "mov", "ecx", b.imm())
+	body := b.newBlock()
+	b.fillBlock(body, blockLen(b, p), p.Mix, callTargets)
+	b.emit(body, "dec", "ecx")
+	b.emit(body, "cmp", "ecx", "0")
+	b.emitJump(body, b.condJump(), body)
+	exit := b.newBlock()
+	return exit
+}
+
+// genDiamond: curr conditionally jumps to the else block; then-block jumps
+// over it to the join.
+func genDiamond(b *progBuilder, p MSKProfile, curr int, callTargets []int) int {
+	b.fillBlock(curr, blockLen(b, p), p.Mix, callTargets)
+	b.emit(curr, "cmp", b.reg(), b.imm())
+	thenBlk := b.newBlock()
+	// curr's conditional jump target is the else block, created after then.
+	b.fillBlock(thenBlk, blockLen(b, p), p.Mix, callTargets)
+	elseBlk := b.newBlock()
+	b.fillBlock(elseBlk, blockLen(b, p), p.Mix, callTargets)
+	join := b.newBlock()
+	b.emitJump(curr, b.condJump(), elseBlk)
+	b.emitJump(thenBlk, "jmp", join)
+	// elseBlk falls through into join.
+	return join
+}
+
+// genSwitch: a chain of cmp/je dispatch blocks feeding case blocks that all
+// jump to a common join — the shape of a compiled switch.
+func genSwitch(b *progBuilder, p MSKProfile, curr int, callTargets []int) int {
+	fan := p.SwitchMin
+	if p.SwitchMax > p.SwitchMin {
+		fan += b.rng.Intn(p.SwitchMax - p.SwitchMin + 1)
+	}
+	b.fillBlock(curr, blockLen(b, p), p.Mix, callTargets)
+	b.emit(curr, "mov", "eax", b.mem())
+
+	// Layout order: dispatch chain, then case blocks, then the join.
+	// chain[i] tests one case and either jumps to cases[i] or falls
+	// through to chain[i+1]; the last test falls through into cases[0].
+	chain := make([]int, fan)
+	chain[0] = curr
+	for i := 1; i < fan; i++ {
+		chain[i] = b.newBlock()
+	}
+	cases := make([]int, fan)
+	for i := range cases {
+		cases[i] = b.newBlock()
+	}
+	join := b.newBlock()
+	for i := 0; i < fan; i++ {
+		b.emit(chain[i], "cmp", "eax", fmt.Sprintf("%d", i))
+		b.emitJump(chain[i], "jz", cases[i])
+	}
+	for i := range cases {
+		b.fillBlock(cases[i], blockLen(b, p), p.Mix, callTargets)
+		b.emitJump(cases[i], "jmp", join)
+	}
+	return join
+}
+
+func blockLen(b *progBuilder, p MSKProfile) int {
+	return p.BlockMin + b.rng.Intn(p.BlockMax-p.BlockMin+1)
+}
+
+// Options configures corpus generation.
+type Options struct {
+	// TotalSamples is the corpus size; families are populated
+	// proportionally to their Figure 7 / Figure 8 weights (each family
+	// keeps at least 2 samples so stratified CV remains possible).
+	TotalSamples int
+	// Seed drives all randomness. Output is deterministic for a given
+	// seed regardless of Workers.
+	Seed int64
+	// Workers bounds concurrent sample generation (like the paper's
+	// multi-threaded ACFG extraction). 0 or 1 generates sequentially.
+	Workers int
+}
+
+// MSKCFG generates the MSKCFG-style corpus: for every sample it synthesizes
+// a family-templated disassembly listing and runs it through the real
+// pipeline (asm parser → two-pass CFG builder → Table I ACFG extraction),
+// so the corpus exercises exactly the code path the paper's Microsoft
+// dataset exercises.
+func MSKCFG(opts Options) (*dataset.Dataset, error) {
+	d, _, err := generateASMCorpus(opts, mskProfiles)
+	return d, err
+}
+
+// MSKCFGTexts is MSKCFG but additionally returns every sample's disassembly
+// listing (aligned with the dataset's sample order). The obfuscation-
+// robustness experiment uses the texts to derive metamorphic variants of
+// held-out samples.
+func MSKCFGTexts(opts Options) (*dataset.Dataset, []string, error) {
+	return generateASMCorpus(opts, mskProfiles)
+}
+
+func generateASMCorpus(opts Options, profiles []MSKProfile) (*dataset.Dataset, []string, error) {
+	if opts.TotalSamples < 2*len(profiles) {
+		return nil, nil, fmt.Errorf("malgen: need at least %d samples for %d families", 2*len(profiles), len(profiles))
+	}
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	d := dataset.New(names)
+	counts := apportion(opts.TotalSamples, profiles)
+
+	// Plan every sample's seed up front (sequentially, for determinism),
+	// then generate the samples with a bounded worker pool.
+	type job struct {
+		idx     int
+		label   int
+		ordinal int
+		seed    int64
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var jobs []job
+	for label := range profiles {
+		for i := 0; i < counts[label]; i++ {
+			jobs = append(jobs, job{idx: len(jobs), label: label, ordinal: i, seed: rng.Int63()})
+		}
+	}
+	samples := make([]*dataset.Sample, len(jobs))
+	texts := make([]string, len(jobs))
+	errs := make([]error, len(jobs))
+	runJob := func(j job) {
+		p := profiles[j.label]
+		text := GenerateProgram(rand.New(rand.NewSource(j.seed)), p)
+		prog, err := asm.ParseString(text)
+		if err != nil {
+			errs[j.idx] = fmt.Errorf("malgen: %s sample %d: %w", p.Name, j.ordinal, err)
+			return
+		}
+		texts[j.idx] = text
+		samples[j.idx] = &dataset.Sample{
+			Name:  fmt.Sprintf("%s-%04d", p.Name, j.ordinal),
+			Label: j.label,
+			ACFG:  acfg.FromCFG(cfg.Build(prog)),
+		}
+	}
+	if opts.Workers > 1 {
+		jobCh := make(chan job)
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobCh {
+					runJob(j)
+				}
+			}()
+		}
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+		wg.Wait()
+	} else {
+		for _, j := range jobs {
+			runJob(j)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, s := range samples {
+		d.Add(s)
+	}
+	return d, texts, nil
+}
+
+// apportion splits total across families proportionally to their weights.
+// Every family keeps at least max(2, total/50) samples: the corpus is 20-50×
+// smaller than the paper's, and a strictly proportional share would leave
+// the rare families (Simda is 0.4% of MSKCFG) with one or two samples —
+// unlearnable at this scale even though the paper's absolute count (42) is
+// plenty. The floor preserves the Figure 7 shape while keeping every family
+// trainable.
+func apportion(total int, profiles []MSKProfile) []int {
+	weightSum := 0.0
+	for _, p := range profiles {
+		weightSum += p.Weight
+	}
+	minPer := total / 50
+	if minPer < 2 {
+		minPer = 2
+	}
+	counts := make([]int, len(profiles))
+	assigned := 0
+	for i, p := range profiles {
+		counts[i] = int(float64(total) * p.Weight / weightSum)
+		if counts[i] < minPer {
+			counts[i] = minPer
+		}
+		assigned += counts[i]
+	}
+	// Distribute the remainder (or trim overshoot) on the largest family.
+	largest := 0
+	for i, p := range profiles {
+		if p.Weight > profiles[largest].Weight {
+			largest = i
+		}
+	}
+	counts[largest] += total - assigned
+	if counts[largest] < 2 {
+		counts[largest] = 2
+	}
+	return counts
+}

@@ -1,0 +1,108 @@
+package malgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/asm"
+)
+
+// ObfuscateProgram applies semantics-preserving junk-code insertion to a
+// disassembly listing — the classic metamorphic transformation the paper's
+// discussion of packed/obfuscated malware (Section V-A) alludes to.
+// intensity is the expected number of junk instructions inserted per
+// original instruction (0 = identity). All control-flow targets are
+// remapped to the shifted addresses, so the program's CFG semantics are
+// preserved while block sizes, instruction counts and attribute statistics
+// drift.
+//
+// The robustness experiment (experiments.ObfuscationRobustness) trains on
+// clean corpora and measures how accuracy degrades as test samples are
+// obfuscated with increasing intensity.
+func ObfuscateProgram(rng *rand.Rand, text string, intensity float64) (string, error) {
+	if intensity < 0 {
+		return "", fmt.Errorf("malgen: negative obfuscation intensity %v", intensity)
+	}
+	prog, err := asm.ParseString(text)
+	if err != nil {
+		return "", fmt.Errorf("malgen: obfuscate parse: %w", err)
+	}
+	if prog.Len() == 0 || intensity == 0 {
+		return text, nil
+	}
+
+	// Plan the junk up front: for every original instruction, the filler
+	// instructions (text + synthetic size) inserted before it.
+	type junk struct {
+		text string
+		size uint64
+	}
+	plan := make([][]junk, prog.Len())
+	for i := range plan {
+		for rng.Float64() < intensity/(1+intensity) {
+			plan[i] = append(plan[i], junk{
+				text: junkInstruction(rng),
+				size: uint64(1 + rng.Intn(3)),
+			})
+		}
+	}
+
+	// First pass: assign new addresses. A branch target is remapped to the
+	// start of its junk prelude (not the instruction itself) so the junk
+	// stays inside the target basic block and the CFG shape is preserved
+	// exactly — the filler is semantics-preserving either way.
+	newAddr := make(map[uint64]uint64, prog.Len())
+	addr := prog.Insts[0].Addr
+	for i, inst := range prog.Insts {
+		newAddr[inst.Addr] = addr
+		for _, j := range plan[i] {
+			addr += j.size
+		}
+		addr += inst.Size
+	}
+
+	// Second pass: emit junk plus remapped originals.
+	var sb strings.Builder
+	addr = prog.Insts[0].Addr
+	for i, inst := range prog.Insts {
+		for _, j := range plan[i] {
+			fmt.Fprintf(&sb, "%08x %s\n", addr, j.text)
+			addr += j.size
+		}
+		operands := inst.Operands
+		if dst, ok := inst.DstAddr(); ok && inst.Kind() != asm.KindOther {
+			if remapped, exists := newAddr[dst]; exists {
+				operands = []string{fmt.Sprintf("0x%x", remapped)}
+			}
+		}
+		fmt.Fprintf(&sb, "%08x %s", addr, inst.Mnemonic)
+		for k, op := range operands {
+			if k == 0 {
+				sb.WriteString(" " + op)
+			} else {
+				sb.WriteString(", " + op)
+			}
+		}
+		sb.WriteString("\n")
+		addr += inst.Size
+	}
+	return sb.String(), nil
+}
+
+// junkInstruction returns one semantics-preserving filler instruction.
+func junkInstruction(rng *rand.Rand) string {
+	r := registers[rng.Intn(len(registers))]
+	switch rng.Intn(5) {
+	case 0:
+		return "nop"
+	case 1:
+		return fmt.Sprintf("xchg %s, %s", r, r)
+	case 2:
+		return fmt.Sprintf("test %s, %s", r, r)
+	case 3:
+		return fmt.Sprintf("mov %s, %s", r, r)
+	default:
+		return fmt.Sprintf("lea %s, [%s+0]", r, r)
+	}
+}

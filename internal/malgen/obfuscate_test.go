@@ -1,0 +1,175 @@
+package malgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+)
+
+const obfDemo = `
+00401000 mov ecx, 10
+00401005 add eax, ecx
+00401007 dec ecx
+00401009 cmp ecx, 0
+0040100c jnz 0x401005
+0040100e call 0x401020
+00401013 ret
+00401020 mov eax, 1
+00401025 ret
+`
+
+func TestObfuscateIdentityAtZeroIntensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	out, err := ObfuscateProgram(rng, obfDemo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != obfDemo {
+		t.Fatal("intensity 0 must be the identity")
+	}
+}
+
+func TestObfuscateParsesAndGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	out, err := ObfuscateProgram(rng, obfDemo, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := asm.ParseString(obfDemo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obf, err := asm.ParseString(out)
+	if err != nil {
+		t.Fatalf("obfuscated program does not parse: %v\n%s", err, out)
+	}
+	if obf.Len() <= orig.Len() {
+		t.Fatalf("obfuscation did not grow program: %d -> %d", orig.Len(), obf.Len())
+	}
+}
+
+func TestObfuscatePreservesControlFlowTargets(t *testing.T) {
+	// Every branch in the obfuscated program must land on an instruction
+	// that carries the same mnemonic as the original target.
+	rng := rand.New(rand.NewSource(3))
+	out, err := ObfuscateProgram(rng, obfDemo, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obf, err := asm.ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original targets: 0x401005 (add), 0x401020 (mov eax, 1). Branches may
+	// land on the junk prelude of the target block; following fall-through
+	// must reach the original instruction before any control transfer.
+	reaches := func(p *asm.Program, from uint64, mnemonic string, operand string) bool {
+		inst := p.At(from)
+		for steps := 0; inst != nil && steps < 50; steps++ {
+			if inst.Mnemonic == mnemonic && (operand == "" || (len(inst.Operands) > 0 && inst.Operands[0] == operand)) {
+				return true
+			}
+			if k := inst.Kind(); k != asm.KindOther {
+				return false // hit a control transfer first
+			}
+			inst = p.Next(inst)
+		}
+		return false
+	}
+	checks := 0
+	for _, inst := range obf.Insts {
+		dst, ok := inst.DstAddr()
+		if !ok || inst.Kind() == asm.KindOther {
+			continue
+		}
+		if obf.At(dst) == nil {
+			t.Fatalf("branch %v to %#x lands outside the program", inst.Mnemonic, dst)
+		}
+		switch inst.Mnemonic {
+		case "jnz":
+			if !reaches(obf, dst, "add", "") {
+				t.Fatalf("loop branch to %#x does not reach the add", dst)
+			}
+			checks++
+		case "call":
+			if !reaches(obf, dst, "mov", "eax") {
+				t.Fatalf("call to %#x does not reach mov eax", dst)
+			}
+			checks++
+		}
+	}
+	if checks != 2 {
+		t.Fatalf("verified %d branches, want 2", checks)
+	}
+}
+
+func TestObfuscatePreservesCFGShape(t *testing.T) {
+	// Junk insertion must not change the number of *branch* edges: the CFG
+	// may split blocks only at the same control-flow points.
+	origProg, err := asm.ParseString(obfDemo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origCFG := cfg.Build(origProg)
+
+	rng := rand.New(rand.NewSource(4))
+	out, err := ObfuscateProgram(rng, obfDemo, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obfProg, err := asm.ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obfCFG := cfg.Build(obfProg)
+	if err := obfCFG.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if obfCFG.NumBlocks() != origCFG.NumBlocks() {
+		t.Fatalf("block count changed %d -> %d\noriginal:\n%s\nobfuscated:\n%s",
+			origCFG.NumBlocks(), obfCFG.NumBlocks(), origCFG, obfCFG)
+	}
+	if obfCFG.NumEdges() != origCFG.NumEdges() {
+		t.Fatalf("edge count changed %d -> %d", origCFG.NumEdges(), obfCFG.NumEdges())
+	}
+}
+
+func TestObfuscateGeneratedPrograms(t *testing.T) {
+	// Every family's generated program must survive obfuscation and CFG
+	// re-extraction.
+	for label := range mskProfiles {
+		rng := rand.New(rand.NewSource(int64(label) + 10))
+		text := GenerateProgram(rng, MSKProfileFor(label))
+		out, err := ObfuscateProgram(rng, text, 0.8)
+		if err != nil {
+			t.Fatalf("%s: %v", MSKProfileFor(label).Name, err)
+		}
+		prog, err := asm.ParseString(out)
+		if err != nil {
+			t.Fatalf("%s: %v", MSKProfileFor(label).Name, err)
+		}
+		c := cfg.Build(prog)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", MSKProfileFor(label).Name, err)
+		}
+	}
+}
+
+func TestObfuscateRejectsNegativeIntensity(t *testing.T) {
+	if _, err := ObfuscateProgram(rand.New(rand.NewSource(1)), obfDemo, -1); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestObfuscateEmptyProgram(t *testing.T) {
+	out, err := ObfuscateProgram(rand.New(rand.NewSource(1)), "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("empty program obfuscated to %q", out)
+	}
+}

@@ -1,0 +1,121 @@
+package malgen
+
+// InstrMix weights the instruction categories emitted into straight-line
+// code; CallProb is the chance a block ends with a call.
+type InstrMix struct {
+	Mov      float64
+	Arith    float64
+	Compare  float64
+	Stack    float64
+	Junk     float64
+	Data     float64
+	CallProb float64
+}
+
+// MSKProfile is a family template for the MSKCFG-style corpus: it controls
+// both the control-flow shape (functions, loops, diamonds, switches) and the
+// per-block instruction mix, which together determine the observables that
+// reach the classifier — the CFG topology and the Table I attributes.
+type MSKProfile struct {
+	Name   string
+	Weight float64 // population weight following Figure 7
+
+	FuncMin, FuncMax   int // functions per program
+	SegMin, SegMax     int // structured segments per function
+	BlockMin, BlockMax int // instructions per straight block
+
+	LoopProb    float64 // segment is a loop
+	DiamondProb float64 // segment is an if/else diamond
+	SwitchProb  float64 // segment is a switch dispatch
+	SwitchMin   int
+	SwitchMax   int
+
+	Mix InstrMix
+}
+
+// mskProfiles are the nine Microsoft Malware Classification Challenge
+// families. Weights follow the Figure 7 population ratios (Ramnit 1541,
+// Lollipop 2478, Kelihos_ver3 2942, Vundo 475, Simda 42, Tracur 751,
+// Kelihos_ver1 398, Obfuscator.ACY 1228, Gatak 1013). The structural
+// characteristics are synthetic but motivated by each family's documented
+// behaviour (see DESIGN.md).
+var mskProfiles = []MSKProfile{
+	{
+		// File infector: buffer-processing loops, busy call graph.
+		Name: "Ramnit", Weight: 1541,
+		FuncMin: 3, FuncMax: 6, SegMin: 2, SegMax: 5, BlockMin: 3, BlockMax: 9,
+		LoopProb: 0.45, DiamondProb: 0.25, SwitchProb: 0.05, SwitchMin: 3, SwitchMax: 5,
+		Mix: InstrMix{Mov: 4, Arith: 2, Compare: 1.5, Stack: 1, Junk: 0.3, Data: 0.2, CallProb: 0.45},
+	},
+	{
+		// Adware: many small string-shuffling helpers.
+		Name: "Lollipop", Weight: 2478,
+		FuncMin: 5, FuncMax: 10, SegMin: 1, SegMax: 3, BlockMin: 4, BlockMax: 12,
+		LoopProb: 0.15, DiamondProb: 0.45, SwitchProb: 0.05, SwitchMin: 3, SwitchMax: 4,
+		Mix: InstrMix{Mov: 6, Arith: 1, Compare: 1, Stack: 2, Junk: 0.3, Data: 0.3, CallProb: 0.3},
+	},
+	{
+		// Spam botnet v3: big command dispatch switches.
+		Name: "Kelihos_ver3", Weight: 2942,
+		FuncMin: 3, FuncMax: 7, SegMin: 2, SegMax: 4, BlockMin: 2, BlockMax: 7,
+		LoopProb: 0.2, DiamondProb: 0.2, SwitchProb: 0.45, SwitchMin: 5, SwitchMax: 9,
+		Mix: InstrMix{Mov: 3, Arith: 1.5, Compare: 3, Stack: 1, Junk: 0.2, Data: 0.2, CallProb: 0.35},
+	},
+	{
+		// Trojan with deep call chains and tiny blocks.
+		Name: "Vundo", Weight: 475,
+		FuncMin: 6, FuncMax: 12, SegMin: 1, SegMax: 2, BlockMin: 1, BlockMax: 4,
+		LoopProb: 0.1, DiamondProb: 0.3, SwitchProb: 0.05, SwitchMin: 3, SwitchMax: 4,
+		Mix: InstrMix{Mov: 3, Arith: 1, Compare: 1, Stack: 3, Junk: 0.2, Data: 0.1, CallProb: 0.6},
+	},
+	{
+		// Small backdoor with crypto-style arithmetic loops.
+		Name: "Simda", Weight: 42,
+		FuncMin: 2, FuncMax: 4, SegMin: 2, SegMax: 4, BlockMin: 4, BlockMax: 10,
+		LoopProb: 0.6, DiamondProb: 0.15, SwitchProb: 0.0, SwitchMin: 3, SwitchMax: 3,
+		Mix: InstrMix{Mov: 2, Arith: 6, Compare: 1.5, Stack: 0.5, Junk: 0.2, Data: 0.1, CallProb: 0.2},
+	},
+	{
+		// Redirecting trojan: compare/stack-heavy dispatcher with long
+		// diamond ladders and conspicuous data islands.
+		Name: "Tracur", Weight: 751,
+		FuncMin: 3, FuncMax: 8, SegMin: 3, SegMax: 6, BlockMin: 1, BlockMax: 4,
+		LoopProb: 0.05, DiamondProb: 0.75, SwitchProb: 0.05, SwitchMin: 3, SwitchMax: 4,
+		Mix: InstrMix{Mov: 1, Arith: 0.8, Compare: 4, Stack: 2.5, Junk: 0.3, Data: 1.5, CallProb: 0.15},
+	},
+	{
+		// Spam botnet v1: small programs, tiny dispatch fans, loop-driven
+		// send routines and data-embedded templates — clearly separated
+		// from ver3's large switch fans.
+		Name: "Kelihos_ver1", Weight: 398,
+		FuncMin: 2, FuncMax: 3, SegMin: 2, SegMax: 3, BlockMin: 5, BlockMax: 12,
+		LoopProb: 0.45, DiamondProb: 0.1, SwitchProb: 0.15, SwitchMin: 2, SwitchMax: 3,
+		Mix: InstrMix{Mov: 2, Arith: 1, Compare: 1, Stack: 2.5, Junk: 0.2, Data: 1.2, CallProb: 0.15},
+	},
+	{
+		// Obfuscated anything: junk-saturated irregular blocks.
+		Name: "Obfuscator.ACY", Weight: 1228,
+		FuncMin: 3, FuncMax: 8, SegMin: 2, SegMax: 5, BlockMin: 3, BlockMax: 14,
+		LoopProb: 0.3, DiamondProb: 0.35, SwitchProb: 0.1, SwitchMin: 3, SwitchMax: 5,
+		Mix: InstrMix{Mov: 2.5, Arith: 2.5, Compare: 1.5, Stack: 1.5, Junk: 4, Data: 0.5, CallProb: 0.25},
+	},
+	{
+		// Stegano loader: data-heavy with decode loops.
+		Name: "Gatak", Weight: 1013,
+		FuncMin: 2, FuncMax: 5, SegMin: 2, SegMax: 4, BlockMin: 3, BlockMax: 10,
+		LoopProb: 0.4, DiamondProb: 0.2, SwitchProb: 0.05, SwitchMin: 3, SwitchMax: 4,
+		Mix: InstrMix{Mov: 3, Arith: 3, Compare: 1, Stack: 0.8, Junk: 0.3, Data: 3, CallProb: 0.25},
+	},
+}
+
+// MSKCFGFamilies returns the nine family names in label order.
+func MSKCFGFamilies() []string {
+	names := make([]string, len(mskProfiles))
+	for i, p := range mskProfiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// MSKProfileFor returns the profile for a label index.
+func MSKProfileFor(label int) MSKProfile { return mskProfiles[label] }

@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ReLU applies max(x, 0) elementwise — the nonlinearity f used in the
+// paper's graph-convolution walk-through (Figure 3).
+type ReLU struct {
+	lastIn *Volume
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies the rectifier.
+func (r *ReLU) Forward(in *Volume, _ bool) *Volume {
+	r.lastIn = in
+	out := NewVolume(in.C, in.H, in.W)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward gates the incoming gradient on the sign of the cached input.
+func (r *ReLU) Backward(dout *Volume) *Volume {
+	din := NewVolume(dout.C, dout.H, dout.W)
+	for i, g := range dout.Data {
+		if r.lastIn.Data[i] > 0 {
+			din.Data[i] = g
+		}
+	}
+	return din
+}
+
+// Params returns nil: ReLU has no trainable state.
+func (r *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU applies max(x, αx) elementwise, keeping a small gradient for
+// negative inputs — useful when deep graph-convolution stacks suffer dead
+// units under plain ReLU.
+type LeakyReLU struct {
+	Alpha float64
+
+	lastIn *Volume
+}
+
+// NewLeakyReLU returns the activation with the given negative slope
+// (commonly 0.01).
+func NewLeakyReLU(alpha float64) *LeakyReLU {
+	if alpha < 0 || alpha >= 1 {
+		panic("nn: leaky relu alpha must be in [0, 1)")
+	}
+	return &LeakyReLU{Alpha: alpha}
+}
+
+// Forward applies the leaky rectifier.
+func (r *LeakyReLU) Forward(in *Volume, _ bool) *Volume {
+	r.lastIn = in
+	out := NewVolume(in.C, in.H, in.W)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		} else {
+			out.Data[i] = r.Alpha * v
+		}
+	}
+	return out
+}
+
+// Backward scales the gradient by 1 or α depending on the input sign.
+func (r *LeakyReLU) Backward(dout *Volume) *Volume {
+	din := NewVolume(dout.C, dout.H, dout.W)
+	for i, g := range dout.Data {
+		if r.lastIn.Data[i] > 0 {
+			din.Data[i] = g
+		} else {
+			din.Data[i] = r.Alpha * g
+		}
+	}
+	return din
+}
+
+// Params returns nil: LeakyReLU has no trainable state.
+func (r *LeakyReLU) Params() []*Param { return nil }
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct {
+	lastOut *Volume
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh.
+func (t *Tanh) Forward(in *Volume, _ bool) *Volume {
+	out := NewVolume(in.C, in.H, in.W)
+	for i, v := range in.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.lastOut = out
+	return out
+}
+
+// Backward multiplies by 1 - tanh².
+func (t *Tanh) Backward(dout *Volume) *Volume {
+	din := NewVolume(dout.C, dout.H, dout.W)
+	for i, g := range dout.Data {
+		y := t.lastOut.Data[i]
+		din.Data[i] = g * (1 - y*y)
+	}
+	return din
+}
+
+// Params returns nil: Tanh has no trainable state.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid applies the logistic function elementwise (used by the autoencoder
+// baseline).
+type Sigmoid struct {
+	lastOut *Volume
+}
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies 1/(1+e^-x).
+func (s *Sigmoid) Forward(in *Volume, _ bool) *Volume {
+	out := NewVolume(in.C, in.H, in.W)
+	for i, v := range in.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.lastOut = out
+	return out
+}
+
+// Backward multiplies by σ(1-σ).
+func (s *Sigmoid) Backward(dout *Volume) *Volume {
+	din := NewVolume(dout.C, dout.H, dout.W)
+	for i, g := range dout.Data {
+		y := s.lastOut.Data[i]
+		din.Data[i] = g * y * (1 - y)
+	}
+	return din
+}
+
+// Params returns nil: Sigmoid has no trainable state.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Dropout zeroes each activation with probability Rate during training and
+// rescales survivors by 1/(1-Rate) (inverted dropout), so inference needs no
+// change.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+
+	mask []bool
+}
+
+// NewDropout returns a Dropout layer with the given drop probability.
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: dropout rate must be in [0, 1)")
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward applies the dropout mask during training and is the identity at
+// inference time.
+func (d *Dropout) Forward(in *Volume, train bool) *Volume {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return in
+	}
+	out := NewVolume(in.C, in.H, in.W)
+	d.mask = make([]bool, in.Len())
+	scale := 1 / (1 - d.Rate)
+	for i, v := range in.Data {
+		if d.rng.Float64() >= d.Rate {
+			d.mask[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward routes gradients only through surviving activations.
+func (d *Dropout) Backward(dout *Volume) *Volume {
+	if d.mask == nil {
+		return dout
+	}
+	din := NewVolume(dout.C, dout.H, dout.W)
+	scale := 1 / (1 - d.Rate)
+	for i, g := range dout.Data {
+		if d.mask[i] {
+			din.Data[i] = g * scale
+		}
+	}
+	return din
+}
+
+// Params returns nil: Dropout has no trainable state.
+func (d *Dropout) Params() []*Param { return nil }
+
+var (
+	_ Layer = (*ReLU)(nil)
+	_ Layer = (*LeakyReLU)(nil)
+	_ Layer = (*Tanh)(nil)
+	_ Layer = (*Sigmoid)(nil)
+	_ Layer = (*Dropout)(nil)
+)

@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv1D is a one-dimensional convolution over the width axis of a C×1×W
+// volume. With kernel size and stride both equal to the per-vertex feature
+// width it realizes the "remaining layer" of the original DGCNN (Section
+// III-A-4): each filter aggregates one vertex's feature descriptor at a
+// time.
+type Conv1D struct {
+	InC, OutC, Kernel, Stride int
+	W                         *Param // OutC × (InC*Kernel)
+	B                         *Param // 1 × OutC
+
+	lastIn *Volume
+}
+
+// NewConv1D builds a 1-D convolution layer with Glorot-uniform filters.
+func NewConv1D(rng *rand.Rand, inC, outC, kernel, stride int) *Conv1D {
+	if kernel <= 0 || stride <= 0 {
+		panic("nn: conv1d kernel and stride must be positive")
+	}
+	return &Conv1D{
+		InC: inC, OutC: outC, Kernel: kernel, Stride: stride,
+		W: NewParam("conv1d.W", tensor.GlorotUniform(rng, outC, inC*kernel)),
+		B: NewParam("conv1d.B", tensor.New(1, outC)),
+	}
+}
+
+// OutWidth returns the output width for an input of width w.
+func (c *Conv1D) OutWidth(w int) int {
+	if w < c.Kernel {
+		return 0
+	}
+	return (w-c.Kernel)/c.Stride + 1
+}
+
+// Forward slides each filter across the width axis.
+func (c *Conv1D) Forward(in *Volume, _ bool) *Volume {
+	if in.C != c.InC || in.H != 1 {
+		panic(fmt.Sprintf("nn: conv1d expects %dx1xW, got %dx%dx%d", c.InC, in.C, in.H, in.W))
+	}
+	c.lastIn = in
+	ow := c.OutWidth(in.W)
+	out := NewVolume(c.OutC, 1, ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		w := c.W.Value.Row(oc)
+		bias := c.B.Value.At(0, oc)
+		for ox := 0; ox < ow; ox++ {
+			start := ox * c.Stride
+			sum := bias
+			for ic := 0; ic < c.InC; ic++ {
+				inRow := in.Data[ic*in.W : (ic+1)*in.W]
+				wOff := ic * c.Kernel
+				for k := 0; k < c.Kernel; k++ {
+					sum += w[wOff+k] * inRow[start+k]
+				}
+			}
+			out.Set(oc, 0, ox, sum)
+		}
+	}
+	return out
+}
+
+// Backward accumulates filter/bias gradients and returns the input gradient.
+func (c *Conv1D) Backward(dout *Volume) *Volume {
+	in := c.lastIn
+	din := NewVolume(in.C, 1, in.W)
+	ow := dout.W
+	for oc := 0; oc < c.OutC; oc++ {
+		w := c.W.Value.Row(oc)
+		gw := c.W.Grad.Row(oc)
+		for ox := 0; ox < ow; ox++ {
+			g := dout.At(oc, 0, ox)
+			if g == 0 {
+				continue
+			}
+			c.B.Grad.Data[oc] += g
+			start := ox * c.Stride
+			for ic := 0; ic < c.InC; ic++ {
+				inRow := in.Data[ic*in.W : (ic+1)*in.W]
+				dinRow := din.Data[ic*in.W : (ic+1)*in.W]
+				wOff := ic * c.Kernel
+				for k := 0; k < c.Kernel; k++ {
+					gw[wOff+k] += g * inRow[start+k]
+					dinRow[start+k] += g * w[wOff+k]
+				}
+			}
+		}
+	}
+	return din
+}
+
+// Params returns the filter and bias parameters.
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// Conv2D is a two-dimensional convolution with square-free (possibly
+// rectangular) kernels, stride and zero padding, used by the
+// AdaptiveMaxPooling head's VGG-style classifier (Section III-C).
+type Conv2D struct {
+	InC, OutC          int
+	KH, KW             int
+	Stride             int
+	Pad                int
+	W                  *Param // OutC × (InC*KH*KW)
+	B                  *Param // 1 × OutC
+
+	lastIn *Volume
+}
+
+// NewConv2D builds a 2-D convolution layer with Glorot-uniform filters.
+func NewConv2D(rng *rand.Rand, inC, outC, kh, kw, stride, pad int) *Conv2D {
+	if kh <= 0 || kw <= 0 || stride <= 0 || pad < 0 {
+		panic("nn: conv2d invalid geometry")
+	}
+	return &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		W: NewParam("conv2d.W", tensor.GlorotUniform(rng, outC, inC*kh*kw)),
+		B: NewParam("conv2d.B", tensor.New(1, outC)),
+	}
+}
+
+// OutDims returns the output height and width for an h×w input.
+func (c *Conv2D) OutDims(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.KH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KW)/c.Stride + 1
+	if oh < 0 {
+		oh = 0
+	}
+	if ow < 0 {
+		ow = 0
+	}
+	return oh, ow
+}
+
+// Forward performs the cross-correlation.
+func (c *Conv2D) Forward(in *Volume, _ bool) *Volume {
+	if in.C != c.InC {
+		panic(fmt.Sprintf("nn: conv2d expects %d channels, got %d", c.InC, in.C))
+	}
+	c.lastIn = in
+	oh, ow := c.OutDims(in.H, in.W)
+	out := NewVolume(c.OutC, oh, ow)
+	for oc := 0; oc < c.OutC; oc++ {
+		w := c.W.Value.Row(oc)
+		bias := c.B.Value.At(0, oc)
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sy := oy*c.Stride - c.Pad
+				sx := ox*c.Stride - c.Pad
+				sum := bias
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.KH; ky++ {
+						y := sy + ky
+						if y < 0 || y >= in.H {
+							continue
+						}
+						wOff := (ic*c.KH + ky) * c.KW
+						for kx := 0; kx < c.KW; kx++ {
+							x := sx + kx
+							if x < 0 || x >= in.W {
+								continue
+							}
+							sum += w[wOff+kx] * in.At(ic, y, x)
+						}
+					}
+				}
+				out.Set(oc, oy, ox, sum)
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates filter/bias gradients and returns the input gradient.
+func (c *Conv2D) Backward(dout *Volume) *Volume {
+	in := c.lastIn
+	din := NewVolume(in.C, in.H, in.W)
+	for oc := 0; oc < c.OutC; oc++ {
+		w := c.W.Value.Row(oc)
+		gw := c.W.Grad.Row(oc)
+		for oy := 0; oy < dout.H; oy++ {
+			for ox := 0; ox < dout.W; ox++ {
+				g := dout.At(oc, oy, ox)
+				if g == 0 {
+					continue
+				}
+				c.B.Grad.Data[oc] += g
+				sy := oy*c.Stride - c.Pad
+				sx := ox*c.Stride - c.Pad
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.KH; ky++ {
+						y := sy + ky
+						if y < 0 || y >= in.H {
+							continue
+						}
+						wOff := (ic*c.KH + ky) * c.KW
+						for kx := 0; kx < c.KW; kx++ {
+							x := sx + kx
+							if x < 0 || x >= in.W {
+								continue
+							}
+							gw[wOff+kx] += g * in.At(ic, y, x)
+							din.Set(ic, y, x, din.At(ic, y, x)+g*w[wOff+kx])
+						}
+					}
+				}
+			}
+		}
+	}
+	return din
+}
+
+// Params returns the filter and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+var (
+	_ Layer = (*Conv1D)(nil)
+	_ Layer = (*Conv2D)(nil)
+)

@@ -1,0 +1,68 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Param is a trainable parameter with its accumulated gradient. Gradients
+// accumulate across the samples of a mini-batch; the optimizer consumes and
+// zeroes them on Step.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// NewParam wraps an initial value in a Param with a zeroed gradient buffer.
+func NewParam(name string, value *tensor.Matrix) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Rows, value.Cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module that processes one sample at a time.
+// Forward caches whatever Backward needs; Backward receives ∂L/∂out and
+// returns ∂L/∂in while accumulating parameter gradients.
+type Layer interface {
+	Forward(in *Volume, train bool) *Volume
+	Backward(dout *Volume) *Volume
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(in *Volume, train bool) *Volume {
+	out := in
+	for _, l := range s.Layers {
+		out = l.Forward(out, train)
+	}
+	return out
+}
+
+// Backward runs all layers in reverse order.
+func (s *Sequential) Backward(dout *Volume) *Volume {
+	grad := dout
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+var _ Layer = (*Sequential)(nil)

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully connected layer y = xW + b operating on the flattened
+// input volume. The input may have any shape; it is treated as a vector of
+// length C*H*W. Output is a 1×1×out volume.
+type Linear struct {
+	In, Out int
+	W       *Param // In×Out
+	B       *Param // 1×Out
+
+	lastIn *Volume
+}
+
+// NewLinear constructs a Linear layer with Glorot-uniform weights and zero
+// bias.
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	return &Linear{
+		In:  in,
+		Out: out,
+		W:   NewParam(fmt.Sprintf("linear%dx%d.W", in, out), tensor.GlorotUniform(rng, in, out)),
+		B:   NewParam(fmt.Sprintf("linear%dx%d.B", in, out), tensor.New(1, out)),
+	}
+}
+
+// Forward computes xW + b.
+func (l *Linear) Forward(in *Volume, _ bool) *Volume {
+	if in.Len() != l.In {
+		panic(fmt.Sprintf("nn: linear expects %d inputs, got %d", l.In, in.Len()))
+	}
+	l.lastIn = in
+	out := NewVolume(1, 1, l.Out)
+	for j := 0; j < l.Out; j++ {
+		sum := l.B.Value.At(0, j)
+		for i, x := range in.Data {
+			sum += x * l.W.Value.At(i, j)
+		}
+		out.Data[j] = sum
+	}
+	return out
+}
+
+// Backward accumulates ∂L/∂W = xᵀ·dout, ∂L/∂b = dout and returns
+// ∂L/∂x = dout·Wᵀ reshaped to the input's shape.
+func (l *Linear) Backward(dout *Volume) *Volume {
+	if dout.Len() != l.Out {
+		panic(fmt.Sprintf("nn: linear backward expects %d grads, got %d", l.Out, dout.Len()))
+	}
+	in := l.lastIn
+	din := NewVolume(in.C, in.H, in.W)
+	for i, x := range in.Data {
+		gRow := l.W.Grad.Row(i)
+		wRow := l.W.Value.Row(i)
+		acc := 0.0
+		for j, g := range dout.Data {
+			gRow[j] += x * g
+			acc += g * wRow[j]
+		}
+		din.Data[i] = acc
+	}
+	bGrad := l.B.Grad.Row(0)
+	for j, g := range dout.Data {
+		bGrad[j] += g
+	}
+	return din
+}
+
+// Params returns the weight and bias parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+var _ Layer = (*Linear)(nil)

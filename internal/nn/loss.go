@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Softmax returns the softmax of a logit vector, computed with the usual
+// max-subtraction for numerical stability.
+func Softmax(logits []float64) []float64 {
+	if len(logits) == 0 {
+		return nil
+	}
+	maxV := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxV)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SoftmaxNLL computes the negative log-likelihood loss of Eq. 5 for one
+// sample: L = -log p_label where p = softmax(logits). It returns the loss,
+// the predicted probability vector and the gradient of the loss with respect
+// to the logits (p - onehot(label)), which is what the model's Backward
+// consumes.
+func SoftmaxNLL(logits []float64, label int) (loss float64, probs, dlogits []float64) {
+	if label < 0 || label >= len(logits) {
+		panic(fmt.Sprintf("nn: label %d out of range for %d classes", label, len(logits)))
+	}
+	probs = Softmax(logits)
+	p := probs[label]
+	if p < 1e-15 {
+		p = 1e-15
+	}
+	loss = -math.Log(p)
+	dlogits = make([]float64, len(logits))
+	copy(dlogits, probs)
+	dlogits[label] -= 1
+	return loss, probs, dlogits
+}
+
+// NLLOfProbs returns -log p_label for an already-normalized probability
+// vector, clamping away from zero. Used when scoring held-out predictions.
+func NLLOfProbs(probs []float64, label int) float64 {
+	p := probs[label]
+	if p < 1e-15 {
+		p = 1e-15
+	}
+	return -math.Log(p)
+}
+
+// MSE computes the mean squared error between two equal-length vectors and
+// the gradient with respect to the prediction (used by the autoencoder
+// baseline).
+func MSE(pred, target []float64) (loss float64, dpred []float64) {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("nn: mse length mismatch %d vs %d", len(pred), len(target)))
+	}
+	n := float64(len(pred))
+	dpred = make([]float64, len(pred))
+	for i, p := range pred {
+		d := p - target[i]
+		loss += d * d
+		dpred[i] = 2 * d / n
+	}
+	return loss / n, dpred
+}

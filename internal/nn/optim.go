@@ -1,0 +1,207 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the accumulated gradients and zeroes
+	// them. batchSize divides the accumulated gradients so updates are
+	// means over the mini-batch.
+	Step(batchSize int)
+	// SetLR changes the learning rate (used by the plateau scheduler).
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+}
+
+// SGD is plain stochastic gradient descent with optional L2 weight decay.
+type SGD struct {
+	params      []*Param
+	lr          float64
+	weightDecay float64
+}
+
+// NewSGD builds an SGD optimizer over params.
+func NewSGD(params []*Param, lr, weightDecay float64) *SGD {
+	return &SGD{params: params, lr: lr, weightDecay: weightDecay}
+}
+
+// Step applies w -= lr * (g/batch + wd*w) and zeroes gradients.
+func (s *SGD) Step(batchSize int) {
+	scale := 1.0 / float64(max(batchSize, 1))
+	for _, p := range s.params {
+		for i, g := range p.Grad.Data {
+			grad := g*scale + s.weightDecay*p.Value.Data[i]
+			p.Value.Data[i] -= s.lr * grad
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLR changes the learning rate.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR returns the current learning rate.
+func (s *SGD) LR() float64 { return s.lr }
+
+// Adam implements the Adam optimizer (Kingma & Ba) used by the paper for
+// end-to-end training, with decoupled-from-nothing classic L2 regularization
+// folded into the gradient (matching PyTorch's weight_decay semantics that
+// the paper's implementation relied on).
+type Adam struct {
+	params      []*Param
+	lr          float64
+	beta1       float64
+	beta2       float64
+	eps         float64
+	weightDecay float64
+
+	t int
+	m []*tensor.Matrix
+	v []*tensor.Matrix
+}
+
+// NewAdam builds an Adam optimizer with the standard β₁=0.9, β₂=0.999,
+// ε=1e-8 defaults.
+func NewAdam(params []*Param, lr, weightDecay float64) *Adam {
+	a := &Adam{
+		params: params, lr: lr,
+		beta1: 0.9, beta2: 0.999, eps: 1e-8,
+		weightDecay: weightDecay,
+		m:           make([]*tensor.Matrix, len(params)),
+		v:           make([]*tensor.Matrix, len(params)),
+	}
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+		a.v[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+	}
+	return a
+}
+
+// Step applies one bias-corrected Adam update and zeroes gradients.
+func (a *Adam) Step(batchSize int) {
+	a.t++
+	scale := 1.0 / float64(max(batchSize, 1))
+	bc1 := 1 - math.Pow(a.beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for pi, p := range a.params {
+		m, v := a.m[pi], a.v[pi]
+		for i, g := range p.Grad.Data {
+			grad := g*scale + a.weightDecay*p.Value.Data[i]
+			m.Data[i] = a.beta1*m.Data[i] + (1-a.beta1)*grad
+			v.Data[i] = a.beta2*v.Data[i] + (1-a.beta2)*grad*grad
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			p.Value.Data[i] -= a.lr * mhat / (math.Sqrt(vhat) + a.eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLR changes the learning rate.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR returns the current learning rate.
+func (a *Adam) LR() float64 { return a.lr }
+
+// RMSProp implements the RMSProp optimizer: per-parameter learning rates
+// scaled by a running average of squared gradients. Provided as an
+// alternative to Adam for optimizer ablations.
+type RMSProp struct {
+	params      []*Param
+	lr          float64
+	decay       float64
+	eps         float64
+	weightDecay float64
+
+	v []*tensor.Matrix
+}
+
+// NewRMSProp builds an RMSProp optimizer with the standard decay 0.9 and
+// ε = 1e-8.
+func NewRMSProp(params []*Param, lr, weightDecay float64) *RMSProp {
+	r := &RMSProp{
+		params: params, lr: lr, decay: 0.9, eps: 1e-8,
+		weightDecay: weightDecay,
+		v:           make([]*tensor.Matrix, len(params)),
+	}
+	for i, p := range params {
+		r.v[i] = tensor.New(p.Value.Rows, p.Value.Cols)
+	}
+	return r
+}
+
+// Step applies one RMSProp update and zeroes gradients.
+func (r *RMSProp) Step(batchSize int) {
+	scale := 1.0 / float64(max(batchSize, 1))
+	for pi, p := range r.params {
+		v := r.v[pi]
+		for i, g := range p.Grad.Data {
+			grad := g*scale + r.weightDecay*p.Value.Data[i]
+			v.Data[i] = r.decay*v.Data[i] + (1-r.decay)*grad*grad
+			p.Value.Data[i] -= r.lr * grad / (math.Sqrt(v.Data[i]) + r.eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// SetLR changes the learning rate.
+func (r *RMSProp) SetLR(lr float64) { r.lr = lr }
+
+// LR returns the current learning rate.
+func (r *RMSProp) LR() float64 { return r.lr }
+
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Adam)(nil)
+	_ Optimizer = (*RMSProp)(nil)
+)
+
+// PlateauScheduler decays the learning rate by Factor once the monitored
+// validation loss has risen for Patience consecutive epochs — the schedule
+// described in Section V-B ("once the validation loss increases for two
+// continuous epochs, we decrease the learning rate by a factor of ten").
+type PlateauScheduler struct {
+	Opt      Optimizer
+	Factor   float64
+	Patience int
+	MinLR    float64
+
+	prevLoss   float64
+	hasPrev    bool
+	riseStreak int
+}
+
+// NewPlateauScheduler builds the paper's decay-on-plateau schedule
+// (factor 0.1, patience 2).
+func NewPlateauScheduler(opt Optimizer) *PlateauScheduler {
+	return &PlateauScheduler{Opt: opt, Factor: 0.1, Patience: 2, MinLR: 1e-7}
+}
+
+// Observe records an epoch's validation loss and decays the learning rate
+// when the plateau condition triggers. It returns true when a decay
+// happened.
+func (s *PlateauScheduler) Observe(valLoss float64) bool {
+	decayed := false
+	if s.hasPrev && valLoss > s.prevLoss {
+		s.riseStreak++
+	} else {
+		s.riseStreak = 0
+	}
+	if s.riseStreak >= s.Patience {
+		newLR := s.Opt.LR() * s.Factor
+		if newLR < s.MinLR {
+			newLR = s.MinLR
+		}
+		s.Opt.SetLR(newLR)
+		s.riseStreak = 0
+		decayed = true
+	}
+	s.prevLoss = valLoss
+	s.hasPrev = true
+	return decayed
+}

@@ -1,0 +1,169 @@
+package nn
+
+import "fmt"
+
+// MaxPool2D is a fixed-kernel max pooling layer.
+type MaxPool2D struct {
+	KH, KW, Stride int
+
+	lastIn  *Volume
+	argmax  []int // flat input index chosen per output element
+	lastOut *Volume
+}
+
+// NewMaxPool2D returns a max-pooling layer with the given kernel and stride.
+func NewMaxPool2D(kh, kw, stride int) *MaxPool2D {
+	if kh <= 0 || kw <= 0 || stride <= 0 {
+		panic("nn: maxpool invalid geometry")
+	}
+	return &MaxPool2D{KH: kh, KW: kw, Stride: stride}
+}
+
+// OutDims returns the output height and width for an h×w input.
+func (p *MaxPool2D) OutDims(h, w int) (int, int) {
+	oh := (h-p.KH)/p.Stride + 1
+	ow := (w-p.KW)/p.Stride + 1
+	if oh < 0 {
+		oh = 0
+	}
+	if ow < 0 {
+		ow = 0
+	}
+	return oh, ow
+}
+
+// Forward keeps the maximum of each window per channel.
+func (p *MaxPool2D) Forward(in *Volume, _ bool) *Volume {
+	p.lastIn = in
+	oh, ow := p.OutDims(in.H, in.W)
+	out := NewVolume(in.C, oh, ow)
+	p.argmax = make([]int, out.Len())
+	oi := 0
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bestIdx, bestVal := -1, 0.0
+				for ky := 0; ky < p.KH; ky++ {
+					y := oy*p.Stride + ky
+					for kx := 0; kx < p.KW; kx++ {
+						x := ox*p.Stride + kx
+						idx := (c*in.H+y)*in.W + x
+						if v := in.Data[idx]; bestIdx < 0 || v > bestVal {
+							bestIdx, bestVal = idx, v
+						}
+					}
+				}
+				out.Data[oi] = bestVal
+				p.argmax[oi] = bestIdx
+				oi++
+			}
+		}
+	}
+	p.lastOut = out
+	return out
+}
+
+// Backward routes each gradient to the input element that won its window.
+func (p *MaxPool2D) Backward(dout *Volume) *Volume {
+	din := NewVolume(p.lastIn.C, p.lastIn.H, p.lastIn.W)
+	for oi, g := range dout.Data {
+		din.Data[p.argmax[oi]] += g
+	}
+	return din
+}
+
+// Params returns nil: pooling has no trainable state.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// AdaptiveMaxPool2D pools a variable-size input down to a fixed OutH×OutW
+// grid per channel — the paper's AdaptiveMaxPooling extension (Section
+// III-C, Figure 6). Window boundaries follow the standard adaptive rule
+// start=⌊i·h/H⌋, end=⌈(i+1)·h/H⌉, which automatically chooses the kernel
+// size and stride for each input size (e.g. a 5×7 input pooled to 3×3 uses
+// ~3×3 windows; a 4×7 input uses ~2×3 windows, as in Figure 6).
+type AdaptiveMaxPool2D struct {
+	OutH, OutW int
+
+	lastIn *Volume
+	argmax []int
+}
+
+// NewAdaptiveMaxPool2D returns an adaptive pooling layer with a fixed output
+// grid.
+func NewAdaptiveMaxPool2D(outH, outW int) *AdaptiveMaxPool2D {
+	if outH <= 0 || outW <= 0 {
+		panic("nn: adaptive maxpool output dims must be positive")
+	}
+	return &AdaptiveMaxPool2D{OutH: outH, OutW: outW}
+}
+
+// adaptiveWindow returns the [start, end) range of output cell i over an
+// input axis of size n pooled to size out. When n < out, small inputs are
+// handled by clamping so every output cell still covers at least one input
+// element.
+func adaptiveWindow(i, out, n int) (int, int) {
+	start := i * n / out
+	end := ((i + 1) * n) / out
+	if ((i+1)*n)%out != 0 {
+		end++
+	}
+	if end <= start {
+		end = start + 1
+	}
+	if end > n {
+		end = n
+		if start >= end {
+			start = end - 1
+		}
+	}
+	return start, end
+}
+
+// Forward keeps the maximum of each adaptive window per channel.
+func (p *AdaptiveMaxPool2D) Forward(in *Volume, _ bool) *Volume {
+	if in.H == 0 || in.W == 0 {
+		panic(fmt.Sprintf("nn: adaptive maxpool on empty input %dx%dx%d", in.C, in.H, in.W))
+	}
+	p.lastIn = in
+	out := NewVolume(in.C, p.OutH, p.OutW)
+	p.argmax = make([]int, out.Len())
+	oi := 0
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < p.OutH; oy++ {
+			y0, y1 := adaptiveWindow(oy, p.OutH, in.H)
+			for ox := 0; ox < p.OutW; ox++ {
+				x0, x1 := adaptiveWindow(ox, p.OutW, in.W)
+				bestIdx, bestVal := -1, 0.0
+				for y := y0; y < y1; y++ {
+					for x := x0; x < x1; x++ {
+						idx := (c*in.H+y)*in.W + x
+						if v := in.Data[idx]; bestIdx < 0 || v > bestVal {
+							bestIdx, bestVal = idx, v
+						}
+					}
+				}
+				out.Data[oi] = bestVal
+				p.argmax[oi] = bestIdx
+				oi++
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes each gradient to the input element that won its window.
+func (p *AdaptiveMaxPool2D) Backward(dout *Volume) *Volume {
+	din := NewVolume(p.lastIn.C, p.lastIn.H, p.lastIn.W)
+	for oi, g := range dout.Data {
+		din.Data[p.argmax[oi]] += g
+	}
+	return din
+}
+
+// Params returns nil: pooling has no trainable state.
+func (p *AdaptiveMaxPool2D) Params() []*Param { return nil }
+
+var (
+	_ Layer = (*MaxPool2D)(nil)
+	_ Layer = (*AdaptiveMaxPool2D)(nil)
+)

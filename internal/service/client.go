@@ -1,0 +1,142 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/acfg"
+)
+
+// Client is a typed HTTP client for the MAGIC service, used by
+// cmd/magic-server's client mode and by integration tests.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for the given base URL (e.g.
+// "http://localhost:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+// Health checks the liveness endpoint.
+func (c *Client) Health() error {
+	resp, err := c.HTTP.Get(c.BaseURL + "/healthz")
+	if err != nil {
+		return fmt.Errorf("service client: health: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("service client: health status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// AddSampleASM uploads one labeled disassembly listing.
+func (c *Client) AddSampleASM(family, name, asmText string) error {
+	_, err := c.post("/v1/samples", sampleBody{Family: family, Name: name, ASM: asmText}, http.StatusCreated)
+	return err
+}
+
+// AddSampleACFG uploads one labeled pre-built ACFG.
+func (c *Client) AddSampleACFG(family, name string, a *acfg.ACFG) error {
+	_, err := c.post("/v1/samples", sampleBody{Family: family, Name: name, ACFG: a}, http.StatusCreated)
+	return err
+}
+
+// TrainResult summarizes a server-side training run.
+type TrainResult struct {
+	Epochs     int     `json:"epochs"`
+	BestEpoch  int     `json:"bestEpoch"`
+	BestLoss   float64 `json:"bestLoss"`
+	Samples    int     `json:"samples"`
+	Parameters int     `json:"parameters"`
+}
+
+// Train triggers (re)training on the accumulated corpus.
+func (c *Client) Train(epochs int, valFraction float64) (*TrainResult, error) {
+	raw, err := c.post("/v1/train", trainBody{Epochs: epochs, ValFraction: valFraction}, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var res TrainResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("service client: decode train result: %w", err)
+	}
+	return &res, nil
+}
+
+// Prediction is one ranked family.
+type Prediction = prediction
+
+// PredictResult is a classification response.
+type PredictResult struct {
+	Family      string       `json:"family"`
+	Blocks      int          `json:"blocks"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+// PredictASM classifies a disassembly listing.
+func (c *Client) PredictASM(asmText string) (*PredictResult, error) {
+	return c.predict(sampleBody{ASM: asmText})
+}
+
+// PredictACFG classifies a pre-built ACFG.
+func (c *Client) PredictACFG(a *acfg.ACFG) (*PredictResult, error) {
+	return c.predict(sampleBody{ACFG: a})
+}
+
+func (c *Client) predict(body sampleBody) (*PredictResult, error) {
+	raw, err := c.post("/v1/predict", body, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var res PredictResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("service client: decode prediction: %w", err)
+	}
+	return &res, nil
+}
+
+// Stats fetches the per-family corpus counts.
+func (c *Client) Stats() (map[string]int, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("service client: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Families map[string]int `json:"families"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("service client: decode stats: %w", err)
+	}
+	return body.Families, nil
+}
+
+func (c *Client) post(path string, body any, wantStatus int) ([]byte, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("service client: encode: %w", err)
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("service client: post %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, fmt.Errorf("service client: read %s: %w", path, err)
+	}
+	if resp.StatusCode != wantStatus {
+		var e errorResponse
+		if json.Unmarshal(buf.Bytes(), &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("service client: %s: %s (status %d)", path, e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("service client: %s: status %d", path, resp.StatusCode)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,367 @@
+// Package service implements the deployment scenario of the paper's
+// conclusion (Section VII): MAGIC as a cloud service. Users upload labeled
+// samples to grow a corpus, trigger (re)training, and submit unknown
+// disassembly or pre-built ACFGs for classification. The server is a plain
+// net/http application with JSON endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /v1/model     current model metadata
+//	GET  /v1/stats     corpus statistics per family
+//	POST /v1/samples   add one labeled sample  {family, asm|acfg}
+//	POST /v1/train     (re)train on the accumulated corpus {epochs}
+//	POST /v1/predict   classify one sample     {asm|acfg} → ranked families
+//
+// All state is in memory and guarded by a single mutex; training holds the
+// write path but predictions against the previous model keep serving.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/acfg"
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Server is the MAGIC classification service.
+type Server struct {
+	cfgTemplate core.Config
+
+	mu        sync.Mutex
+	families  []string
+	labelOf   map[string]int
+	corpus    *dataset.Dataset
+	model     *core.Model
+	training  bool
+	trainedAt time.Time
+
+	// predictMu serializes inference: the model's forward pass caches
+	// per-sample state inside its layers, so a single model instance is
+	// not safe for concurrent Predict calls.
+	predictMu sync.Mutex
+
+	now func() time.Time
+}
+
+// New builds a server for a fixed family universe. cfgTemplate supplies the
+// model architecture; Classes is overridden to match the families.
+func New(families []string, cfgTemplate core.Config) (*Server, error) {
+	if len(families) < 2 {
+		return nil, fmt.Errorf("service: need at least 2 families, got %d", len(families))
+	}
+	labelOf := make(map[string]int, len(families))
+	for i, f := range families {
+		if f == "" {
+			return nil, fmt.Errorf("service: empty family name at %d", i)
+		}
+		if _, dup := labelOf[f]; dup {
+			return nil, fmt.Errorf("service: duplicate family %q", f)
+		}
+		labelOf[f] = i
+	}
+	cfgTemplate.Classes = len(families)
+	if cfgTemplate.AttrDim == 0 {
+		cfgTemplate.AttrDim = acfg.NumAttributes
+	}
+	if err := cfgTemplate.Validate(); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	return &Server{
+		cfgTemplate: cfgTemplate,
+		families:    families,
+		labelOf:     labelOf,
+		corpus:      dataset.New(families),
+		now:         time.Now,
+	}, nil
+}
+
+// LoadModel installs a pre-trained model (e.g. from magic-train).
+func (s *Server) LoadModel(m *core.Model) error {
+	if m.Config.Classes != len(s.families) {
+		return fmt.Errorf("service: model has %d classes, server has %d families",
+			m.Config.Classes, len(s.families))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.model = m
+	s.trainedAt = s.now()
+	return nil
+}
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/samples", s.handleAddSample)
+	mux.HandleFunc("POST /v1/train", s.handleTrain)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	return mux
+}
+
+// sampleBody is the wire form of an uploaded sample: either disassembly
+// text or a pre-built ACFG.
+type sampleBody struct {
+	Family string     `json:"family,omitempty"`
+	ASM    string     `json:"asm,omitempty"`
+	ACFG   *acfg.ACFG `json:"acfg,omitempty"`
+	Name   string     `json:"name,omitempty"`
+}
+
+// trainBody tunes a training request.
+type trainBody struct {
+	Epochs      int     `json:"epochs,omitempty"`
+	ValFraction float64 `json:"valFraction,omitempty"`
+}
+
+// prediction is one ranked family in a predict response.
+type prediction struct {
+	Family      string  `json:"family"`
+	Probability float64 `json:"probability"`
+}
+
+type predictResponse struct {
+	Family      string       `json:"family"`
+	Blocks      int          `json:"blocks"`
+	Predictions []prediction `json:"predictions"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := map[string]any{
+		"families": s.families,
+		"trained":  s.model != nil,
+		"training": s.training,
+	}
+	if s.model != nil {
+		resp["parameters"] = s.model.NumParameters()
+		resp["architecture"] = s.model.String()
+		resp["trainedAt"] = s.trainedAt.UTC().Format(time.RFC3339)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := s.corpus.CountByClass()
+	perFamily := make(map[string]int, len(s.families))
+	for i, f := range s.families {
+		perFamily[f] = counts[i]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"samples":  s.corpus.Len(),
+		"families": perFamily,
+	})
+}
+
+func (s *Server) handleAddSample(w http.ResponseWriter, r *http.Request) {
+	var body sampleBody
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	label, ok := s.labelOf[body.Family]
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown family %q", body.Family))
+		return
+	}
+	a, err := s.extract(&body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := body.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-%06d", body.Family, s.corpus.Len())
+	}
+	s.corpus.Add(&dataset.Sample{Name: name, Label: label, ACFG: a})
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":    name,
+		"samples": s.corpus.Len(),
+	})
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var body trainBody
+	if err := decodeBody(r, &body); err != nil && r.ContentLength > 0 {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.training {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, fmt.Errorf("training already in progress"))
+		return
+	}
+	// Snapshot the corpus under the lock; train outside it so predictions
+	// against the previous model keep serving.
+	train := s.corpus.Subset(allIndices(s.corpus.Len()))
+	counts := train.CountByClass()
+	for i, n := range counts {
+		if n < 2 {
+			s.mu.Unlock()
+			writeError(w, http.StatusPreconditionFailed,
+				fmt.Errorf("family %q has %d samples; need at least 2 per family", s.families[i], n))
+			return
+		}
+	}
+	cfg := s.cfgTemplate
+	if body.Epochs > 0 {
+		cfg.Epochs = body.Epochs
+	}
+	s.training = true
+	s.mu.Unlock()
+
+	finish := func() {
+		s.mu.Lock()
+		s.training = false
+		s.mu.Unlock()
+	}
+
+	var val *dataset.Dataset
+	fit := train
+	if body.ValFraction > 0 && body.ValFraction < 1 {
+		tr, v, err := train.TrainValSplit(body.ValFraction, cfg.Seed)
+		if err != nil {
+			finish()
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		fit, val = tr, v
+	}
+	m, err := core.NewModel(cfg, fit.Sizes())
+	if err != nil {
+		finish()
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	hist, err := core.Train(m, fit, val, core.TrainOptions{})
+	if err != nil {
+		finish()
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	s.mu.Lock()
+	s.model = m
+	s.trainedAt = s.now()
+	s.training = false
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epochs":     len(hist.TrainLoss),
+		"bestEpoch":  hist.BestEpoch,
+		"bestLoss":   hist.BestValLoss,
+		"samples":    train.Len(),
+		"parameters": m.NumParameters(),
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var body sampleBody
+	if err := decodeBody(r, &body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	a, err := s.extract(&body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	m := s.model
+	s.mu.Unlock()
+	if m == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no model trained yet"))
+		return
+	}
+	s.predictMu.Lock()
+	probs := m.Predict(a)
+	s.predictMu.Unlock()
+	preds := make([]prediction, len(probs))
+	for i, p := range probs {
+		preds[i] = prediction{Family: s.families[i], Probability: p}
+	}
+	sort.SliceStable(preds, func(i, j int) bool { return preds[i].Probability > preds[j].Probability })
+	writeJSON(w, http.StatusOK, predictResponse{
+		Family:      preds[0].Family,
+		Blocks:      a.NumVertices(),
+		Predictions: preds,
+	})
+}
+
+// extract converts an uploaded body into an ACFG, running the disassembly
+// pipeline when asm text was supplied.
+func (s *Server) extract(body *sampleBody) (*acfg.ACFG, error) {
+	switch {
+	case body.ACFG != nil && body.ASM != "":
+		return nil, fmt.Errorf("supply either asm or acfg, not both")
+	case body.ACFG != nil:
+		if body.ACFG.Attrs.Cols != s.cfgTemplate.AttrDim {
+			return nil, fmt.Errorf("acfg has %d attribute columns, want %d",
+				body.ACFG.Attrs.Cols, s.cfgTemplate.AttrDim)
+		}
+		return body.ACFG, nil
+	case strings.TrimSpace(body.ASM) != "":
+		prog, err := asm.ParseString(body.ASM)
+		if err != nil {
+			return nil, fmt.Errorf("parse asm: %w", err)
+		}
+		c := cfg.Build(prog)
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("build cfg: %w", err)
+		}
+		return acfg.FromCFG(c), nil
+	default:
+		return nil, fmt.Errorf("missing asm or acfg payload")
+	}
+}
+
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,279 @@
+package service
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/acfg"
+	"repro/internal/core"
+	"repro/internal/malgen"
+)
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig(2, acfg.NumAttributes)
+	cfg.ConvSizes = []int{8, 8}
+	cfg.HiddenUnits = 16
+	cfg.Conv2DChannels = 4
+	cfg.Epochs = 6
+	return cfg
+}
+
+func newTestServer(t *testing.T, families []string) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	srv, err := New(families, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, NewClient(ts.URL)
+}
+
+const chainProgram = `
+00401000 mov eax, 1
+00401005 mov ebx, 2
+0040100a mov ecx, 3
+0040100f ret
+`
+
+const loopProgram = `
+00401000 mov ecx, 9
+00401005 add eax, ecx
+00401007 xor eax, 3
+0040100a dec ecx
+0040100c cmp ecx, 0
+0040100f jnz 0x401005
+00401011 ret
+`
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]string{"only"}, testConfig()); err == nil {
+		t.Fatal("want error for single family")
+	}
+	if _, err := New([]string{"a", "a"}, testConfig()); err == nil {
+		t.Fatal("want error for duplicate family")
+	}
+	if _, err := New([]string{"a", ""}, testConfig()); err == nil {
+		t.Fatal("want error for empty family")
+	}
+	bad := testConfig()
+	bad.BatchSize = 0
+	if _, err := New([]string{"a", "b"}, bad); err == nil {
+		t.Fatal("want error for invalid config")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, _, client := newTestServer(t, []string{"clean", "dirty"})
+	if err := client.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictWithoutModel(t *testing.T) {
+	_, ts, client := newTestServer(t, []string{"clean", "dirty"})
+	_ = ts
+	if _, err := client.PredictASM(chainProgram); err == nil {
+		t.Fatal("want 503 before training")
+	}
+}
+
+func TestUploadTrainPredictFlow(t *testing.T) {
+	_, _, client := newTestServer(t, []string{"chainy", "loopy"})
+
+	// Upload a few variants of each family (perturbed constants).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 8; i++ {
+		chain := strings.ReplaceAll(chainProgram, "mov eax, 1",
+			"mov eax, "+itoa(rng.Intn(50)))
+		loop := strings.ReplaceAll(loopProgram, "mov ecx, 9",
+			"mov ecx, "+itoa(rng.Intn(50)))
+		if err := client.AddSampleASM("chainy", "", chain); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.AddSampleASM("loopy", "", loop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["chainy"] != 8 || stats["loopy"] != 8 {
+		t.Fatalf("stats = %v", stats)
+	}
+
+	res, err := client.Train(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 16 || res.Parameters == 0 {
+		t.Fatalf("train result = %+v", res)
+	}
+
+	pred, err := client.PredictASM(loopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Family != "loopy" {
+		t.Fatalf("predicted %q, want loopy (%+v)", pred.Family, pred)
+	}
+	if len(pred.Predictions) != 2 {
+		t.Fatalf("predictions = %+v", pred.Predictions)
+	}
+	if pred.Predictions[0].Probability < pred.Predictions[1].Probability {
+		t.Fatal("predictions not sorted")
+	}
+	// The whole ranked list is a distribution.
+	sum := 0.0
+	for _, p := range pred.Predictions {
+		sum += p.Probability
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("probability mass %v", sum)
+	}
+}
+
+func TestAddSampleValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, []string{"clean", "dirty"})
+
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown family", `{"family":"ghost","asm":"00401000 ret"}`, http.StatusBadRequest},
+		{"missing payload", `{"family":"clean"}`, http.StatusBadRequest},
+		{"bad asm", `{"family":"clean","asm":"garbage"}`, http.StatusBadRequest},
+		{"bad json", `{`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/samples", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestTrainRequiresTwoPerFamily(t *testing.T) {
+	_, _, client := newTestServer(t, []string{"clean", "dirty"})
+	if err := client.AddSampleASM("clean", "", chainProgram); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Train(2, 0); err == nil {
+		t.Fatal("want precondition error with underpopulated families")
+	}
+}
+
+func TestTrainConflictWhileTraining(t *testing.T) {
+	srv, ts, client := newTestServer(t, []string{"clean", "dirty"})
+	for i := 0; i < 2; i++ {
+		if err := client.AddSampleASM("clean", "", chainProgram); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.AddSampleASM("dirty", "", loopProgram); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate an in-flight training run.
+	srv.mu.Lock()
+	srv.training = true
+	srv.mu.Unlock()
+	resp, err := http.Post(ts.URL+"/v1/train", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", resp.StatusCode)
+	}
+	srv.mu.Lock()
+	srv.training = false
+	srv.mu.Unlock()
+}
+
+func TestModelEndpoint(t *testing.T) {
+	srv, ts, _ := newTestServer(t, []string{"clean", "dirty"})
+	resp, err := http.Get(ts.URL + "/v1/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Installing a pre-trained model updates metadata.
+	cfg := testConfig()
+	m, err := core.NewModel(cfg, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadModel(m); err != nil {
+		t.Fatal(err)
+	}
+	wrong := cfg
+	wrong.Classes = 5
+	m5, err := core.NewModel(wrong, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadModel(m5); err == nil {
+		t.Fatal("want class-count mismatch error")
+	}
+}
+
+func TestPredictACFGPath(t *testing.T) {
+	srv, _, client := newTestServer(t, []string{"clean", "dirty"})
+	cfg := testConfig()
+	m, err := core.NewModel(cfg, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadModel(m); err != nil {
+		t.Fatal(err)
+	}
+	a := malgen.GenerateACFG(rand.New(rand.NewSource(2)), malgen.YanProfileFor(0))
+	res, err := client.PredictACFG(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks != a.NumVertices() {
+		t.Fatalf("blocks = %d, want %d", res.Blocks, a.NumVertices())
+	}
+}
+
+func TestConcurrentPredictions(t *testing.T) {
+	srv, _, client := newTestServer(t, []string{"clean", "dirty"})
+	m, err := core.NewModel(testConfig(), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadModel(m); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = client.PredictASM(loopProgram)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

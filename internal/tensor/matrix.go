@@ -1,0 +1,352 @@
+// Package tensor provides a small dense linear-algebra substrate used by the
+// neural-network layers in this repository. It implements row-major float64
+// matrices with the operations required for forward and backward passes of
+// the DGCNN model: matrix multiplication, transposition, elementwise maps,
+// row/column reductions and stable sorting helpers.
+//
+// The package is intentionally minimal and allocation-conscious rather than a
+// general tensor library: everything the paper's model needs is expressible
+// with 2-D matrices plus a few shaped views.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Data is stored in a single backing
+// slice of length Rows*Cols; element (i, j) lives at Data[i*Cols+j].
+type Matrix struct {
+	Rows int
+	Cols int
+	Data []float64
+}
+
+// ErrShape is returned (wrapped) by operations whose operand shapes are
+// incompatible.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// New returns a zero-initialized rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equally long rows. It copies the
+// input.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrShape, i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// MustFromRows is FromRows that panics on ragged input. Intended for tests
+// and literals.
+func MustFromRows(rows [][]float64) *Matrix {
+	m, err := FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i (no copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element of m to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MatMul returns a*b. It panics if the inner dimensions disagree, because a
+// shape mismatch is always a programming error in this codebase, never a
+// runtime condition.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	// ikj loop order: streams through b and out rows for cache friendliness.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	mustSameShape(a, b, "add")
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	mustSameShape(a, b, "sub")
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// Hadamard returns the elementwise product a*b.
+func Hadamard(a, b *Matrix) *Matrix {
+	mustSameShape(a, b, "hadamard")
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace adds b into a.
+func (m *Matrix) AddInPlace(b *Matrix) {
+	mustSameShape(m, b, "add in place")
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s in place and returns m for chaining.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// Apply replaces every element x with f(x) in place and returns m.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+	return m
+}
+
+// Map returns a new matrix whose elements are f applied to m's elements.
+func (m *Matrix) Map(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// HConcat concatenates matrices horizontally (same row count).
+func HConcat(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("tensor: hconcat row mismatch %d vs %d", m.Rows, rows))
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		orow := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(orow[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// VConcat concatenates matrices vertically (same column count).
+func VConcat(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic(fmt.Sprintf("tensor: vconcat col mismatch %d vs %d", m.Cols, cols))
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:off+len(m.Data)], m.Data)
+		off += len(m.Data)
+	}
+	return out
+}
+
+// SliceCols returns a copy of columns [lo, hi) of m.
+func (m *Matrix) SliceCols(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: slice cols [%d,%d) of %d", lo, hi, m.Cols))
+	}
+	out := New(m.Rows, hi-lo)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [lo, hi) of m.
+func (m *Matrix) SliceRows(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: slice rows [%d,%d) of %d", lo, hi, m.Rows))
+	}
+	out := New(hi-lo, m.Cols)
+	copy(out.Data, m.Data[lo*m.Cols:hi*m.Cols])
+	return out
+}
+
+// SelectRows returns a new matrix whose i-th row is m's row idx[i]. Indices
+// may repeat.
+func (m *Matrix) SelectRows(idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value, or 0 for empty matrices.
+func (m *Matrix) MaxAbs() float64 {
+	best := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMaxRow returns the index of the largest element in row i (first on
+// ties).
+func (m *Matrix) ArgMaxRow(i int) int {
+	row := m.Row(i)
+	best, bestV := 0, math.Inf(-1)
+	for j, v := range row {
+		if v > bestV {
+			best, bestV = j, v
+		}
+	}
+	return best
+}
+
+// Equal reports whether a and b have the same shape and elements within tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix %dx%d [", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+func mustSameShape(a, b *Matrix, op string) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

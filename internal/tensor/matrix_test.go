@@ -1,0 +1,277 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroInitialized(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("unexpected contents: %v", m)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("want error for ragged rows")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("want 0x0, got %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := MustFromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := MatMul(a, b)
+	want := MustFromRows([][]float64{{58, 64}, {139, 154}})
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Uniform(rng, 4, 4, -1, 1)
+	eye := New(4, 4)
+	for i := 0; i < 4; i++ {
+		eye.Set(i, i, 1)
+	}
+	if !Equal(MatMul(a, eye), a, 1e-12) {
+		t.Fatal("a*I != a")
+	}
+	if !Equal(MatMul(eye, a), a, 1e-12) {
+		t.Fatal("I*a != a")
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on inner-dimension mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	want := MustFromRows([][]float64{{1, 4}, {2, 5}, {3, 6}})
+	if !Equal(at, want, 0) {
+		t.Fatalf("got %v want %v", at, want)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := Uniform(rng, rows, cols, -10, 10)
+		return Equal(m.T().T(), m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulTransposeProperty(t *testing.T) {
+	// (AB)^T == B^T A^T
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k, m := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := Uniform(rng, n, k, -3, 3)
+		b := Uniform(rng, k, m, -3, 3)
+		return Equal(MatMul(a, b).T(), MatMul(b.T(), a.T()), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MustFromRows([][]float64{{5, 6}, {7, 8}})
+	if got := Add(a, b); !Equal(got, MustFromRows([][]float64{{6, 8}, {10, 12}}), 0) {
+		t.Fatalf("add: %v", got)
+	}
+	if got := Sub(b, a); !Equal(got, MustFromRows([][]float64{{4, 4}, {4, 4}}), 0) {
+		t.Fatalf("sub: %v", got)
+	}
+	if got := Hadamard(a, b); !Equal(got, MustFromRows([][]float64{{5, 12}, {21, 32}}), 0) {
+		t.Fatalf("hadamard: %v", got)
+	}
+}
+
+func TestAddDistributesOverMatMul(t *testing.T) {
+	// A(B+C) == AB + AC
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, k, m := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := Uniform(rng, n, k, -2, 2)
+		b := Uniform(rng, k, m, -2, 2)
+		c := Uniform(rng, k, m, -2, 2)
+		return Equal(MatMul(a, Add(b, c)), Add(MatMul(a, b), MatMul(a, c)), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleApplyMap(t *testing.T) {
+	a := MustFromRows([][]float64{{1, -2}, {-3, 4}})
+	relu := a.Map(func(x float64) float64 { return math.Max(x, 0) })
+	if !Equal(relu, MustFromRows([][]float64{{1, 0}, {0, 4}}), 0) {
+		t.Fatalf("map relu: %v", relu)
+	}
+	// Map must not modify the receiver.
+	if a.At(0, 1) != -2 {
+		t.Fatal("Map modified receiver")
+	}
+	a.Apply(func(x float64) float64 { return x * x })
+	if !Equal(a, MustFromRows([][]float64{{1, 4}, {9, 16}}), 0) {
+		t.Fatalf("apply square: %v", a)
+	}
+	a.Scale(0.5)
+	if a.At(1, 1) != 8 {
+		t.Fatalf("scale: %v", a)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MustFromRows([][]float64{{5}, {6}})
+	h := HConcat(a, b)
+	if !Equal(h, MustFromRows([][]float64{{1, 2, 5}, {3, 4, 6}}), 0) {
+		t.Fatalf("hconcat: %v", h)
+	}
+	c := MustFromRows([][]float64{{7, 8}})
+	v := VConcat(a, c)
+	if !Equal(v, MustFromRows([][]float64{{1, 2}, {3, 4}, {7, 8}}), 0) {
+		t.Fatalf("vconcat: %v", v)
+	}
+}
+
+func TestSliceAndSelect(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	if got := m.SliceCols(1, 3); !Equal(got, MustFromRows([][]float64{{2, 3}, {5, 6}, {8, 9}}), 0) {
+		t.Fatalf("slice cols: %v", got)
+	}
+	if got := m.SliceRows(0, 2); !Equal(got, MustFromRows([][]float64{{1, 2, 3}, {4, 5, 6}}), 0) {
+		t.Fatalf("slice rows: %v", got)
+	}
+	if got := m.SelectRows([]int{2, 0, 2}); !Equal(got, MustFromRows([][]float64{{7, 8, 9}, {1, 2, 3}, {7, 8, 9}}), 0) {
+		t.Fatalf("select rows: %v", got)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	m := MustFromRows([][]float64{{1, -5}, {2, 3}})
+	if got := m.Sum(); got != 1 {
+		t.Fatalf("sum = %v", got)
+	}
+	if got := m.MaxAbs(); got != 5 {
+		t.Fatalf("maxabs = %v", got)
+	}
+	if got := m.Norm2(); math.Abs(got-math.Sqrt(39)) > 1e-12 {
+		t.Fatalf("norm2 = %v", got)
+	}
+	if got := m.ArgMaxRow(0); got != 0 {
+		t.Fatalf("argmax row0 = %d", got)
+	}
+	if got := m.ArgMaxRow(1); got != 1 {
+		t.Fatalf("argmax row1 = %d", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestGlorotUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := GlorotUniform(rng, 30, 20)
+	limit := math.Sqrt(6.0 / 50.0)
+	for _, v := range m.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("value %v outside ±%v", v, limit)
+		}
+	}
+	// Not all zero.
+	if m.MaxAbs() == 0 {
+		t.Fatal("all zeros")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := Normal(rng, 100, 100, 2.0, 0.5)
+	mean := m.Sum() / float64(len(m.Data))
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Fatalf("sample mean %v too far from 2.0", mean)
+	}
+	varsum := 0.0
+	for _, v := range m.Data {
+		varsum += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(varsum / float64(len(m.Data)))
+	if math.Abs(std-0.5) > 0.05 {
+		t.Fatalf("sample std %v too far from 0.5", std)
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if Equal(New(1, 2), New(2, 1), 1) {
+		t.Fatal("shape mismatch reported equal")
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a := MustFromRows([][]float64{{1, 2}})
+	a.AddInPlace(MustFromRows([][]float64{{10, 20}}))
+	if !Equal(a, MustFromRows([][]float64{{11, 22}}), 0) {
+		t.Fatalf("addinplace: %v", a)
+	}
+}
+
+func TestZeroAndFill(t *testing.T) {
+	m := MustFromRows([][]float64{{1, 2}, {3, 4}})
+	m.Fill(7)
+	if m.Sum() != 28 {
+		t.Fatalf("fill: %v", m)
+	}
+	m.Zero()
+	if m.Sum() != 0 {
+		t.Fatalf("zero: %v", m)
+	}
+}
