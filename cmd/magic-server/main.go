@@ -8,9 +8,17 @@
 //	magic-server -addr :8080 -families Ramnit,Lollipop,...   # empty service
 //	magic-server -addr :8080 -model magic-model.json -families ...
 //	magic-server -demo                                       # preloaded demo
+//	magic-server -demo -pprof                                # + /debug/pprof
 //
 // Demo mode seeds the corpus with a small synthetic MSKCFG-style corpus and
 // trains an initial model before serving.
+//
+// Prometheus metrics (request counters, latency histograms, training
+// telemetry, pipeline stage timers — see DESIGN.md "Observability") are
+// always served at GET /metrics. The -pprof flag additionally mounts the
+// net/http/pprof profiling endpoints under /debug/pprof/; it is opt-in
+// because profiling handlers should not be exposed on an untrusted
+// network.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -25,6 +34,7 @@ import (
 	"repro/internal/acfg"
 	"repro/internal/core"
 	"repro/internal/malgen"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -43,6 +53,7 @@ func run(args []string) error {
 	demo := fs.Bool("demo", false, "seed with a synthetic corpus and train before serving")
 	demoSamples := fs.Int("demo-samples", 150, "demo corpus size")
 	epochs := fs.Int("epochs", 12, "default training epochs")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,12 +91,25 @@ func run(args []string) error {
 		}
 	}
 
+	handler := srv.Handler()
+	if *pprofFlag {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("MAGIC service listening on %s (%d families)", *addr, len(families))
+	log.Printf("MAGIC service listening on %s (%d families), metrics at /metrics", *addr, len(families))
 	return httpSrv.ListenAndServe()
 }
 
@@ -105,9 +129,32 @@ func seedDemo(srv *service.Server, samples, epochs int) error {
 	}
 	log.Printf("demo: training %s", m)
 	start := time.Now()
-	if _, err := core.Train(m, corpus, nil, core.TrainOptions{}); err != nil {
+	// Publish the seed run's telemetry on the same registry the service
+	// serves, so /metrics has training gauges from the first scrape.
+	tm := obs.NewTrainingMetrics(srv.Metrics())
+	tm.RunStarted(corpus.Len())
+	opts := core.TrainOptions{
+		Observer: core.EpochObserverFunc(func(e core.EpochStats) {
+			tm.ObserveEpoch(obs.EpochUpdate{
+				Epoch:        e.Epoch,
+				TrainLoss:    e.TrainLoss,
+				TrainAcc:     e.TrainAcc,
+				HasVal:       e.HasVal,
+				ValLoss:      e.ValLoss,
+				ValAcc:       e.ValAcc,
+				LearningRate: e.LearningRate,
+				Duration:     e.Duration,
+				BestEpoch:    e.BestEpoch,
+			})
+			log.Printf("demo: epoch %3d/%d  loss %.4f  acc %.3f  (%v)",
+				e.Epoch+1, epochs, e.TrainLoss, e.TrainAcc, e.Duration.Round(time.Millisecond))
+		}),
+	}
+	if _, err := core.Train(m, corpus, nil, opts); err != nil {
+		tm.RunFinished(true)
 		return err
 	}
+	tm.RunFinished(false)
 	log.Printf("demo: trained in %v", time.Since(start).Round(time.Second))
 	return srv.LoadModel(m)
 }

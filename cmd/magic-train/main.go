@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/acfg"
 	"repro/internal/core"
@@ -84,7 +85,20 @@ func run(args []string) error {
 
 	opts := core.TrainOptions{}
 	if !*quiet {
-		opts.Logf = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+		// Live progress via the trainer's EpochObserver hook: loss and
+		// accuracy on both sets, learning rate, wall-clock per epoch, and a
+		// star on epochs that improved the model-selection criterion.
+		opts.Observer = core.EpochObserverFunc(func(e core.EpochStats) {
+			line := fmt.Sprintf("epoch %3d/%d  train %.4f acc %.3f", e.Epoch+1, *epochs, e.TrainLoss, e.TrainAcc)
+			if e.HasVal {
+				line += fmt.Sprintf("  val %.4f acc %.3f", e.ValLoss, e.ValAcc)
+			}
+			line += fmt.Sprintf("  lr %.2g  %v", e.LearningRate, e.Duration.Round(time.Millisecond))
+			if e.Improved {
+				line += "  *"
+			}
+			fmt.Println(line)
+		})
 	}
 	hist, err := core.Train(m, train, val, opts)
 	if err != nil {

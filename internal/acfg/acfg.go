@@ -13,6 +13,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -58,6 +59,7 @@ type ACFG struct {
 
 // FromCFG extracts Table I attributes for every block of c.
 func FromCFG(c *cfg.CFG) *ACFG {
+	defer obs.TimeStage(obs.StageACFGAnnotate)()
 	n := c.NumBlocks()
 	attrs := tensor.New(n, NumAttributes)
 	for i, b := range c.Blocks {

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Program is the pre-processed form of Section IV-A: a one-to-one mapping
@@ -87,6 +89,7 @@ func (p *Program) Next(inst *Instruction) *Instruction {
 // starting with ';' or '#', inline ';' comments, and label lines ("name:")
 // are skipped/stripped. Operands are comma-separated.
 func Parse(r io.Reader) (*Program, error) {
+	defer obs.TimeStage(obs.StageASMParse)()
 	var insts []*Instruction
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Block is a basic block: a straight-line instruction sequence with control
@@ -59,6 +60,7 @@ func (b *builder) addEdge(from, to *Block) {
 // Build runs both passes over the program and returns its CFG. Programs with
 // no instructions yield an empty CFG.
 func Build(p *asm.Program) *CFG {
+	defer obs.TimeStage(obs.StageCFGBuild)()
 	asm.TagProgram(p)
 	return connectBlocks(p)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/acfg"
 	"repro/internal/dataset"
@@ -22,6 +23,71 @@ type History struct {
 	BestValLoss float64
 }
 
+// EpochStats is the telemetry snapshot handed to an EpochObserver after
+// every completed epoch.
+type EpochStats struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int
+	// TrainLoss and TrainAcc are the mean NLL and argmax accuracy over the
+	// training set for this epoch.
+	TrainLoss float64
+	TrainAcc  float64
+	// HasVal reports whether a validation set was supplied; ValLoss and
+	// ValAcc are meaningful only when it is true.
+	HasVal  bool
+	ValLoss float64
+	ValAcc  float64
+	// LearningRate is the optimizer's rate after this epoch's plateau
+	// schedule update.
+	LearningRate float64
+	// Duration is the wall-clock cost of the epoch (both passes).
+	Duration time.Duration
+	// BestEpoch is the epoch with the lowest monitored loss so far;
+	// Improved reports whether this epoch set it.
+	BestEpoch int
+	Improved  bool
+}
+
+// EpochObserver receives per-epoch training telemetry. Implementations
+// must be fast (they run on the training loop) and must not retain the
+// stats struct past the call.
+type EpochObserver interface {
+	ObserveEpoch(EpochStats)
+}
+
+// EpochObserverFunc adapts a function to the EpochObserver interface.
+type EpochObserverFunc func(EpochStats)
+
+// ObserveEpoch calls f.
+func (f EpochObserverFunc) ObserveEpoch(s EpochStats) { f(s) }
+
+// multiObserver fans one epoch's stats out to several observers.
+type multiObserver []EpochObserver
+
+func (m multiObserver) ObserveEpoch(s EpochStats) {
+	for _, o := range m {
+		o.ObserveEpoch(s)
+	}
+}
+
+// MultiObserver combines observers into one, skipping nils. It returns
+// nil when none remain.
+func MultiObserver(obs ...EpochObserver) EpochObserver {
+	var out multiObserver
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
 // TrainOptions tunes the training loop beyond the model Config.
 type TrainOptions struct {
 	// Logf, when non-nil, receives one line per epoch.
@@ -29,6 +95,10 @@ type TrainOptions struct {
 	// Patience stops training early after this many epochs without
 	// validation improvement. Zero disables early stopping.
 	Patience int
+	// Observer, when non-nil, receives an EpochStats snapshot after every
+	// epoch — the hook live-progress output and obs.TrainingMetrics hang
+	// off of.
+	Observer EpochObserver
 }
 
 // Train fits the model on train, monitoring val (which may be nil). It fits
@@ -62,8 +132,10 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		trainLoss := 0.0
+		trainHits := 0
 		for start := 0; start < len(order); start += cfg.BatchSize {
 			end := start + cfg.BatchSize
 			if end > len(order) {
@@ -74,28 +146,39 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 				logits := m.forwardProp(trainProps[idx], s.ACFG, true)
 				loss, _, dlogits := nn.SoftmaxNLL(logits, s.Label)
 				trainLoss += loss
+				if argmax(logits) == s.Label {
+					trainHits++
+				}
 				m.Backward(dlogits)
 			}
 			opt.Step(end - start)
 		}
 		trainLoss /= float64(train.Len())
+		trainAcc := float64(trainHits) / float64(train.Len())
 		hist.TrainLoss = append(hist.TrainLoss, trainLoss)
 
 		monitor := trainLoss
-		valLoss := 0.0
-		if val != nil && val.Len() > 0 {
+		valLoss, valAcc := 0.0, 0.0
+		hasVal := val != nil && val.Len() > 0
+		if hasVal {
+			valHits := 0
 			for i, s := range val.Samples {
 				logits := m.forwardProp(valProps[i], s.ACFG, false)
 				probs := nn.Softmax(logits)
 				valLoss += nn.NLLOfProbs(probs, s.Label)
+				if argmax(probs) == s.Label {
+					valHits++
+				}
 			}
 			valLoss /= float64(val.Len())
+			valAcc = float64(valHits) / float64(val.Len())
 			hist.ValLoss = append(hist.ValLoss, valLoss)
 			monitor = valLoss
 		}
 		decayed := sched.Observe(monitor)
 
-		if hist.BestValLoss < 0 || monitor < hist.BestValLoss {
+		improved := hist.BestValLoss < 0 || monitor < hist.BestValLoss
+		if improved {
 			hist.BestValLoss = monitor
 			hist.BestEpoch = epoch
 			best = snapshotParams(m.Params())
@@ -111,6 +194,20 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 			} else {
 				opts.Logf("epoch %3d  train %.4f  lr %.2g%s", epoch, trainLoss, opt.LR(), decayNote(decayed))
 			}
+		}
+		if opts.Observer != nil {
+			opts.Observer.ObserveEpoch(EpochStats{
+				Epoch:        epoch,
+				TrainLoss:    trainLoss,
+				TrainAcc:     trainAcc,
+				HasVal:       hasVal,
+				ValLoss:      valLoss,
+				ValAcc:       valAcc,
+				LearningRate: opt.LR(),
+				Duration:     time.Since(epochStart),
+				BestEpoch:    hist.BestEpoch,
+				Improved:     improved,
+			})
 		}
 		if opts.Patience > 0 && sinceBest >= opts.Patience {
 			break
@@ -180,6 +277,16 @@ func restoreParams(ps []*nn.Param, snap []*tensor.Matrix) {
 	for i, p := range ps {
 		copy(p.Value.Data, snap[i].Data)
 	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
 }
 
 func decayNote(decayed bool) string {

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the registry in the Prometheus
+// text exposition format (version 0.0.4). Families are sorted by name and
+// children by label values, so the output is deterministic for a given
+// registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		children := f.snapshot()
+		if len(children) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := bw.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("# TYPE " + f.name + " " + f.typ.String() + "\n"); err != nil {
+			return err
+		}
+		for _, m := range children {
+			if err := writeMetric(bw, f, m); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeMetric(w *bufio.Writer, f *family, m metric) error {
+	switch v := m.(type) {
+	case *Counter:
+		return writeSample(w, f.name, f.labelKeys, v.vals, "", "", v.Value())
+	case *Gauge:
+		return writeSample(w, f.name, f.labelKeys, v.vals, "", "", v.Value())
+	case *Histogram:
+		cum := v.cumulative()
+		for i, bound := range v.bounds {
+			le := formatFloat(bound)
+			if err := writeSample(w, f.name+"_bucket", f.labelKeys, v.vals, "le", le, float64(cum[i])); err != nil {
+				return err
+			}
+		}
+		count := v.Count()
+		if err := writeSample(w, f.name+"_bucket", f.labelKeys, v.vals, "le", "+Inf", float64(count)); err != nil {
+			return err
+		}
+		if err := writeSample(w, f.name+"_sum", f.labelKeys, v.vals, "", "", v.Sum()); err != nil {
+			return err
+		}
+		return writeSample(w, f.name+"_count", f.labelKeys, v.vals, "", "", float64(count))
+	}
+	return nil
+}
+
+// writeSample emits one line: name{labels,extraKey="extraVal"} value. The
+// extra pair carries a histogram's "le" bound.
+func writeSample(w *bufio.Writer, name string, keys, vals []string, extraKey, extraVal string, value float64) error {
+	if _, err := w.WriteString(name); err != nil {
+		return err
+	}
+	if len(keys) > 0 || extraKey != "" {
+		if err := w.WriteByte('{'); err != nil {
+			return err
+		}
+		first := true
+		for i, k := range keys {
+			if !first {
+				if err := w.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			first = false
+			if _, err := w.WriteString(k + `="` + escapeLabel(vals[i]) + `"`); err != nil {
+				return err
+			}
+		}
+		if extraKey != "" {
+			if !first {
+				if err := w.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := w.WriteString(extraKey + `="` + extraVal + `"`); err != nil {
+				return err
+			}
+		}
+		if err := w.WriteByte('}'); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString(" " + formatFloat(value) + "\n")
+	return err
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// Handler serves the registry in Prometheus text format — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

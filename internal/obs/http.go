@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics instruments HTTP handlers with the three standard server
+// signals: request counts by status code, in-flight gauge, and latency
+// histogram, all partitioned by a caller-supplied endpoint label (the
+// route pattern, never the raw URL, to keep cardinality bounded).
+type HTTPMetrics struct {
+	requests *CounterVec   // endpoint, method, code
+	inFlight *GaugeVec     // endpoint
+	duration *HistogramVec // endpoint
+}
+
+// NewHTTPMetrics registers the HTTP metric families on r. Calling it twice
+// with the same registry returns handles to the same metrics.
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: r.CounterVec("magic_http_requests_total",
+			"Total HTTP requests by endpoint, method and status code.",
+			"endpoint", "method", "code"),
+		inFlight: r.GaugeVec("magic_http_requests_in_flight",
+			"HTTP requests currently being served, by endpoint.",
+			"endpoint"),
+		duration: r.HistogramVec("magic_http_request_duration_seconds",
+			"HTTP request latency in seconds, by endpoint.",
+			DefBuckets, "endpoint"),
+	}
+}
+
+// Wrap instruments next, attributing its traffic to endpoint.
+func (h *HTTPMetrics) Wrap(endpoint string, next http.Handler) http.Handler {
+	inFlight := h.inFlight.With(endpoint)
+	duration := h.duration.With(endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Inc()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		inFlight.Dec()
+		duration.Observe(time.Since(start).Seconds())
+		h.requests.With(endpoint, r.Method, strconv.Itoa(rec.code)).Inc()
+	})
+}
+
+// WrapFunc is Wrap for a HandlerFunc.
+func (h *HTTPMetrics) WrapFunc(endpoint string, next http.HandlerFunc) http.Handler {
+	return h.Wrap(endpoint, next)
+}
+
+// statusRecorder captures the response status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

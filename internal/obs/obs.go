@@ -1,0 +1,38 @@
+// Package obs is the observability substrate for the MAGIC system: a
+// concurrent-safe metrics registry built only on the Go standard library,
+// with Prometheus text-format exposition, HTTP server instrumentation,
+// training telemetry, and ingestion-pipeline stage timers.
+//
+// Three metric kinds are supported, mirroring the Prometheus data model:
+//
+//   - Counter: a monotonically increasing float64 (requests served, epochs
+//     completed). Hot path is a single atomic CAS.
+//   - Gauge: an arbitrary float64 that can go up and down (in-flight
+//     requests, current training loss).
+//   - Histogram: observations bucketed under fixed exponential upper
+//     bounds, plus a running sum and count. Hot path is two atomic adds
+//     and a CAS.
+//
+// Every metric comes in a plain and a labeled ("vec") flavor. Label
+// children are resolved once per label-value tuple and cached, so steady
+// state cost is a read-locked map lookup; callers on very hot paths can
+// resolve the child up front with With and keep the handle.
+//
+// Registration is idempotent: asking twice for the same name with the same
+// type and label keys returns the same metric, so independent subsystems
+// can share a registry (in particular Default) without coordination.
+// Conflicting re-registration (same name, different shape) panics, as it
+// is a programming error.
+//
+// The zero-dependency rule is deliberate: the rest of the repository may
+// import obs from anywhere (asm, cfg, acfg, service, cmd) without ever
+// creating an import cycle, because obs imports nothing outside the
+// standard library.
+package obs
+
+// Default is the process-wide registry. Package-level instrumentation —
+// the pipeline stage timers, the metrics served by magic-server — records
+// here unless a caller explicitly wires its own Registry.
+func Default() *Registry { return defaultRegistry }
+
+var defaultRegistry = NewRegistry()

@@ -1,0 +1,36 @@
+package obs
+
+import "time"
+
+// Canonical ingestion-pipeline stage names, in execution order:
+// disassembly parsing → CFG construction → ACFG attribute annotation.
+const (
+	StageASMParse     = "asm_parse"
+	StageCFGBuild     = "cfg_build"
+	StageACFGAnnotate = "acfg_annotate"
+)
+
+// Pipeline stage metrics live on the Default registry so instrumentation
+// inside internal/asm, internal/cfg and internal/acfg needs no wiring; any
+// server exposing Default (magic-server does) serves them automatically.
+var (
+	stageDuration = Default().HistogramVec("magic_pipeline_stage_duration_seconds",
+		"Wall-clock cost of one ingestion pipeline stage for one sample.",
+		DefBuckets, "stage")
+	stageTotal = Default().CounterVec("magic_pipeline_stage_total",
+		"Samples processed per ingestion pipeline stage.", "stage")
+)
+
+// TimeStage starts timing one pipeline stage and returns the function that
+// stops the clock and records the observation:
+//
+//	defer obs.TimeStage(obs.StageCFGBuild)()
+func TimeStage(stage string) func() {
+	duration := stageDuration.With(stage)
+	total := stageTotal.With(stage)
+	start := time.Now()
+	return func() {
+		duration.Observe(time.Since(start).Seconds())
+		total.Inc()
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import "time"
+
+// EpochUpdate is one epoch's worth of training telemetry. It mirrors
+// core.EpochStats without importing core (obs stays dependency-free; the
+// adapter lives with the caller).
+type EpochUpdate struct {
+	Epoch        int
+	TrainLoss    float64
+	TrainAcc     float64
+	HasVal       bool
+	ValLoss      float64
+	ValAcc       float64
+	LearningRate float64
+	Duration     time.Duration
+	BestEpoch    int
+}
+
+// TrainingMetrics publishes training-loop telemetry: per-epoch loss and
+// accuracy gauges (train and validation), epoch duration histogram,
+// best-epoch and learning-rate gauges, and run/epoch counters.
+type TrainingMetrics struct {
+	runs       *CounterVec // outcome
+	inProgress *Gauge
+	samples    *Gauge
+	epochs     *Counter
+	epoch      *Gauge
+	loss       *GaugeVec // set
+	accuracy   *GaugeVec // set
+	lr         *Gauge
+	bestEpoch  *Gauge
+	epochDur   *Histogram
+}
+
+// NewTrainingMetrics registers the training metric families on r. Like all
+// registration it is idempotent, so several training paths (the service's
+// /v1/train, a demo seed) can share one registry.
+func NewTrainingMetrics(r *Registry) *TrainingMetrics {
+	return &TrainingMetrics{
+		runs: r.CounterVec("magic_train_runs_total",
+			"Completed training runs by outcome (ok or error).", "outcome"),
+		inProgress: r.Gauge("magic_train_in_progress",
+			"1 while a training run is active, else 0."),
+		samples: r.Gauge("magic_train_samples",
+			"Number of samples in the most recent training run."),
+		epochs: r.Counter("magic_train_epochs_total",
+			"Total training epochs completed across all runs."),
+		epoch: r.Gauge("magic_train_epoch",
+			"Index of the most recently completed epoch in the current run."),
+		loss: r.GaugeVec("magic_train_loss",
+			"Loss of the most recently completed epoch.", "set"),
+		accuracy: r.GaugeVec("magic_train_accuracy",
+			"Accuracy of the most recently completed epoch.", "set"),
+		lr: r.Gauge("magic_train_learning_rate",
+			"Learning rate after the most recently completed epoch."),
+		bestEpoch: r.Gauge("magic_train_best_epoch",
+			"Epoch with the lowest monitored loss so far in the current run."),
+		epochDur: r.Histogram("magic_train_epoch_duration_seconds",
+			"Wall-clock duration of each training epoch.", DefBuckets),
+	}
+}
+
+// RunStarted marks a training run active over the given sample count.
+func (t *TrainingMetrics) RunStarted(samples int) {
+	t.inProgress.Set(1)
+	t.samples.Set(float64(samples))
+}
+
+// RunFinished marks the run complete.
+func (t *TrainingMetrics) RunFinished(failed bool) {
+	t.inProgress.Set(0)
+	outcome := "ok"
+	if failed {
+		outcome = "error"
+	}
+	t.runs.With(outcome).Inc()
+}
+
+// ObserveEpoch publishes one epoch's telemetry. It is the obs-side half of
+// a core.EpochObserver.
+func (t *TrainingMetrics) ObserveEpoch(u EpochUpdate) {
+	t.epochs.Inc()
+	t.epoch.Set(float64(u.Epoch))
+	t.loss.With("train").Set(u.TrainLoss)
+	t.accuracy.With("train").Set(u.TrainAcc)
+	if u.HasVal {
+		t.loss.With("val").Set(u.ValLoss)
+		t.accuracy.With("val").Set(u.ValAcc)
+	}
+	t.lr.Set(u.LearningRate)
+	t.bestEpoch.Set(float64(u.BestEpoch))
+	t.epochDur.Observe(u.Duration.Seconds())
+}

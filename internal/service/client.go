@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/acfg"
 )
@@ -16,10 +17,22 @@ type Client struct {
 	HTTP    *http.Client
 }
 
+// DefaultTimeout bounds every client request. It is generous because
+// /v1/train runs a whole training loop synchronously; callers with
+// stricter needs should pass their own client via NewClientWithHTTP.
+const DefaultTimeout = 5 * time.Minute
+
 // NewClient builds a client for the given base URL (e.g.
-// "http://localhost:8080").
+// "http://localhost:8080") with a dedicated *http.Client bounded by
+// DefaultTimeout — never http.DefaultClient, which has no timeout at all.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+	return NewClientWithHTTP(baseURL, &http.Client{Timeout: DefaultTimeout})
+}
+
+// NewClientWithHTTP builds a client that issues requests through hc,
+// the escape hatch for custom timeouts, transports, or test doubles.
+func NewClientWithHTTP(baseURL string, hc *http.Client) *Client {
+	return &Client{BaseURL: baseURL, HTTP: hc}
 }
 
 // Health checks the liveness endpoint.

@@ -5,6 +5,7 @@
 // net/http application with JSON endpoints:
 //
 //	GET  /healthz      liveness probe
+//	GET  /metrics      Prometheus text-format metrics (see internal/obs)
 //	GET  /v1/model     current model metadata
 //	GET  /v1/stats     corpus statistics per family
 //	POST /v1/samples   add one labeled sample  {family, asm|acfg}
@@ -13,6 +14,12 @@
 //
 // All state is in memory and guarded by a single mutex; training holds the
 // write path but predictions against the previous model keep serving.
+//
+// Every endpoint is instrumented through obs.HTTPMetrics (request counts,
+// in-flight gauge, latency histograms, all labeled by route), training
+// publishes per-epoch telemetry through obs.TrainingMetrics, and the
+// asm→cfg→acfg extraction pipeline reports stage timers. DESIGN.md's
+// "Observability" section lists the metric names.
 package service
 
 import (
@@ -29,6 +36,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // Server is the MAGIC classification service.
@@ -49,11 +57,27 @@ type Server struct {
 	predictMu sync.Mutex
 
 	now func() time.Time
+
+	registry     *obs.Registry
+	httpMetrics  *obs.HTTPMetrics
+	trainMetrics *obs.TrainingMetrics
+	predictions  *obs.CounterVec // family
+	corpusSize   *obs.GaugeVec   // family
+	modelParams  *obs.Gauge
 }
 
 // New builds a server for a fixed family universe. cfgTemplate supplies the
-// model architecture; Classes is overridden to match the families.
+// model architecture; Classes is overridden to match the families. Metrics
+// are published on obs.Default, which is also where the ingestion pipeline
+// stage timers live — so /metrics shows the whole system.
 func New(families []string, cfgTemplate core.Config) (*Server, error) {
+	return NewWithRegistry(families, cfgTemplate, obs.Default())
+}
+
+// NewWithRegistry is New with metrics published on a caller-owned
+// registry, which tests use for isolation. Note the pipeline stage timers
+// always record on obs.Default regardless.
+func NewWithRegistry(families []string, cfgTemplate core.Config, reg *obs.Registry) (*Server, error) {
 	if len(families) < 2 {
 		return nil, fmt.Errorf("service: need at least 2 families, got %d", len(families))
 	}
@@ -80,8 +104,22 @@ func New(families []string, cfgTemplate core.Config) (*Server, error) {
 		labelOf:     labelOf,
 		corpus:      dataset.New(families),
 		now:         time.Now,
+
+		registry:     reg,
+		httpMetrics:  obs.NewHTTPMetrics(reg),
+		trainMetrics: obs.NewTrainingMetrics(reg),
+		predictions: reg.CounterVec("magic_predictions_total",
+			"Predictions served, by top-ranked family.", "family"),
+		corpusSize: reg.GaugeVec("magic_corpus_samples",
+			"Labeled samples currently in the corpus, by family.", "family"),
+		modelParams: reg.Gauge("magic_model_parameters",
+			"Parameter count of the currently installed model (0 when none)."),
 	}, nil
 }
+
+// Metrics returns the registry this server publishes to, for callers that
+// want to mount or inspect it directly.
+func (s *Server) Metrics() *obs.Registry { return s.registry }
 
 // LoadModel installs a pre-trained model (e.g. from magic-train).
 func (s *Server) LoadModel(m *core.Model) error {
@@ -93,18 +131,25 @@ func (s *Server) LoadModel(m *core.Model) error {
 	defer s.mu.Unlock()
 	s.model = m
 	s.trainedAt = s.now()
+	s.modelParams.Set(float64(m.NumParameters()))
 	return nil
 }
 
-// Handler returns the HTTP routing for the service.
+// Handler returns the HTTP routing for the service. Every route is
+// wrapped in the metrics middleware, labeled by its path pattern (bounded
+// cardinality), including /metrics itself.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/model", s.handleModel)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/samples", s.handleAddSample)
-	mux.HandleFunc("POST /v1/train", s.handleTrain)
-	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	handle := func(pattern, endpoint string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.httpMetrics.WrapFunc(endpoint, h))
+	}
+	handle("GET /healthz", "/healthz", s.handleHealthz)
+	handle("GET /metrics", "/metrics", s.registry.Handler().ServeHTTP)
+	handle("GET /v1/model", "/v1/model", s.handleModel)
+	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("POST /v1/samples", "/v1/samples", s.handleAddSample)
+	handle("POST /v1/train", "/v1/train", s.handleTrain)
+	handle("POST /v1/predict", "/v1/predict", s.handlePredict)
 	return mux
 }
 
@@ -196,6 +241,7 @@ func (s *Server) handleAddSample(w http.ResponseWriter, r *http.Request) {
 		name = fmt.Sprintf("%s-%06d", body.Family, s.corpus.Len())
 	}
 	s.corpus.Add(&dataset.Sample{Name: name, Label: label, ACFG: a})
+	s.corpusSize.With(body.Family).Set(float64(s.corpus.CountByClass()[label]))
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"name":    name,
 		"samples": s.corpus.Len(),
@@ -234,10 +280,12 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	s.training = true
 	s.mu.Unlock()
 
+	s.trainMetrics.RunStarted(train.Len())
 	finish := func() {
 		s.mu.Lock()
 		s.training = false
 		s.mu.Unlock()
+		s.trainMetrics.RunFinished(true)
 	}
 
 	var val *dataset.Dataset
@@ -257,7 +305,11 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	hist, err := core.Train(m, fit, val, core.TrainOptions{})
+	hist, err := core.Train(m, fit, val, core.TrainOptions{
+		Observer: core.EpochObserverFunc(func(e core.EpochStats) {
+			s.trainMetrics.ObserveEpoch(epochUpdate(e))
+		}),
+	})
 	if err != nil {
 		finish()
 		writeError(w, http.StatusInternalServerError, err)
@@ -268,7 +320,9 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	s.model = m
 	s.trainedAt = s.now()
 	s.training = false
+	s.modelParams.Set(float64(m.NumParameters()))
 	s.mu.Unlock()
+	s.trainMetrics.RunFinished(false)
 
 	writeJSON(w, http.StatusOK, map[string]any{
 		"epochs":     len(hist.TrainLoss),
@@ -306,6 +360,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		preds[i] = prediction{Family: s.families[i], Probability: p}
 	}
 	sort.SliceStable(preds, func(i, j int) bool { return preds[i].Probability > preds[j].Probability })
+	s.predictions.With(preds[0].Family).Inc()
 	writeJSON(w, http.StatusOK, predictResponse{
 		Family:      preds[0].Family,
 		Blocks:      a.NumVertices(),
@@ -337,6 +392,22 @@ func (s *Server) extract(body *sampleBody) (*acfg.ACFG, error) {
 		return acfg.FromCFG(c), nil
 	default:
 		return nil, fmt.Errorf("missing asm or acfg payload")
+	}
+}
+
+// epochUpdate bridges core's per-epoch stats to the obs telemetry struct
+// (obs cannot import core, being dependency-free).
+func epochUpdate(e core.EpochStats) obs.EpochUpdate {
+	return obs.EpochUpdate{
+		Epoch:        e.Epoch,
+		TrainLoss:    e.TrainLoss,
+		TrainAcc:     e.TrainAcc,
+		HasVal:       e.HasVal,
+		ValLoss:      e.ValLoss,
+		ValAcc:       e.ValAcc,
+		LearningRate: e.LearningRate,
+		Duration:     e.Duration,
+		BestEpoch:    e.BestEpoch,
 	}
 }
 

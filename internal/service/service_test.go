@@ -12,6 +12,7 @@ import (
 	"repro/internal/acfg"
 	"repro/internal/core"
 	"repro/internal/malgen"
+	"repro/internal/obs"
 )
 
 func testConfig() core.Config {
@@ -25,7 +26,9 @@ func testConfig() core.Config {
 
 func newTestServer(t *testing.T, families []string) (*Server, *httptest.Server, *Client) {
 	t.Helper()
-	srv, err := New(families, testConfig())
+	// A per-test registry keeps metric assertions independent of other
+	// tests sharing obs.Default in the same process.
+	srv, err := NewWithRegistry(families, testConfig(), obs.NewRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
