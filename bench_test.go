@@ -226,6 +226,60 @@ func BenchmarkTrainPerInstance(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelTrain times full training epochs at several worker
+// counts. Because the engine is bit-deterministic across worker counts, the
+// sub-benchmarks do identical numeric work — the ratio of their ns/op is a
+// pure measure of data-parallel scaling (on a single-core machine all
+// worker counts cost the same).
+func BenchmarkParallelTrain(b *testing.B) {
+	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: 60, Seed: 2, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := core.DefaultConfig(d.NumClasses(), acfg.NumAttributes)
+	mcfg.Epochs = 2
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := core.NewModel(mcfg, d.Sizes())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Train(m, d, nil, core.TrainOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictBatch times pooled batch inference at several worker
+// counts (the /v1/predict serving path uses the same replica machinery).
+func BenchmarkPredictBatch(b *testing.B) {
+	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: 60, Seed: 3, Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := core.DefaultConfig(d.NumClasses(), acfg.NumAttributes)
+	m, err := core.NewModel(mcfg, d.Sizes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	as := make([]*acfg.ACFG, d.Len())
+	for i, s := range d.Samples {
+		as[i] = s.ACFG
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.PredictBatch(as, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPredictPerInstance times inference per sample — the paper
 // reports 11.33 ms per instance.
 func BenchmarkPredictPerInstance(b *testing.B) {

@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// report on stdout, so CI can archive benchmark runs as machine-readable
+// artifacts (BENCH_train.json) instead of scraping logs.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x | go run ./cmd/benchjson > BENCH_train.json
+//
+// Each benchmark result line of the form
+//
+//	BenchmarkParallelTrain/workers4-8  1  123456789 ns/op  42.0 custom/metric
+//
+// becomes one entry carrying the benchmark name (with the -GOMAXPROCS
+// suffix split off), the iteration count, ns/op, and every custom metric
+// reported through b.ReportMetric. Non-benchmark lines (test output, ok
+// lines) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GoOS      string   `json:"goos,omitempty"`
+	GoArch    string   `json:"goarch,omitempty"`
+	Package   string   `json:"pkg,omitempty"`
+	CPU       string   `json:"cpu,omitempty"`
+	Results   []Result `json:"results"`
+	Succeeded bool     `json:"succeeded"`
+}
+
+func main() {
+	report := parse(bufio.NewScanner(os.Stdin))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if !report.Succeeded {
+		fmt.Fprintln(os.Stderr, "benchjson: no passing benchmark run found in input")
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) Report {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var report Report
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			report.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			report.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseResult(line); ok {
+				report.Results = append(report.Results, r)
+			}
+		case strings.HasPrefix(line, "ok"):
+			report.Succeeded = true
+		}
+	}
+	return report
+}
+
+// parseResult parses one "BenchmarkName-P  N  v unit  v unit ..." line.
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0]}
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = make(map[string]float64)
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}

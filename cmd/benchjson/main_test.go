@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkParallelTrain/workers1-8         	       1	1523456789 ns/op
+BenchmarkParallelTrain/workers4-8         	       1	 412345678 ns/op	      60.0 samples/epoch
+BenchmarkFig7/MSK-CFG_full_model-8        	       1	 999999999 ns/op	       0.9444 accuracy
+--- some test chatter that must be ignored
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	report := parse(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if !report.Succeeded {
+		t.Fatal("ok line not recognized")
+	}
+	if report.GoOS != "linux" || report.GoArch != "amd64" || report.Package != "repro" {
+		t.Fatalf("header misparsed: %+v", report)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(report.Results))
+	}
+	r := report.Results[1]
+	if r.Name != "BenchmarkParallelTrain/workers4" || r.Procs != 8 {
+		t.Fatalf("name/procs misparsed: %+v", r)
+	}
+	if r.Iterations != 1 || r.NsPerOp != 412345678 {
+		t.Fatalf("timing misparsed: %+v", r)
+	}
+	if r.Metrics["samples/epoch"] != 60.0 {
+		t.Fatalf("custom metric misparsed: %+v", r.Metrics)
+	}
+	if acc := report.Results[2].Metrics["accuracy"]; acc != 0.9444 {
+		t.Fatalf("accuracy metric = %v", acc)
+	}
+}
+
+func TestParseNoRun(t *testing.T) {
+	report := parse(bufio.NewScanner(strings.NewReader("FAIL\nexit status 1\n")))
+	if report.Succeeded {
+		t.Fatal("FAIL output reported as succeeded")
+	}
+	if len(report.Results) != 0 {
+		t.Fatalf("got %d results from FAIL output", len(report.Results))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,11 +38,15 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	full := fs.Bool("full", false, "table2: sweep the full 208-setting paper grid")
 	quiet := fs.Bool("quiet", false, "suppress progress logs")
+	workers := fs.Int("workers", 0, "data-parallel workers for generation and training (0 = GOMAXPROCS); results are identical at any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
-	opts := experiments.Options{Samples: *samples, Epochs: *epochs, Folds: *folds, Seed: *seed}
+	opts := experiments.Options{Samples: *samples, Epochs: *epochs, Folds: *folds, Seed: *seed, Workers: *workers}
 	if !*quiet {
 		opts.Logf = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "  … "+format+"\n", a...)

@@ -54,6 +54,7 @@ func run(args []string) error {
 	demoSamples := fs.Int("demo-samples", 150, "demo corpus size")
 	epochs := fs.Int("epochs", 12, "default training epochs")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
+	workers := fs.Int("workers", 0, "prediction replica pool size and training workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +74,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := srv.SetParallelism(*workers); err != nil {
+		return err
+	}
 
 	if *modelPath != "" {
 		m, err := core.LoadFile(*modelPath)
@@ -86,7 +90,7 @@ func run(args []string) error {
 	}
 
 	if *demo {
-		if err := seedDemo(srv, *demoSamples, *epochs); err != nil {
+		if err := seedDemo(srv, *demoSamples, *epochs, *workers); err != nil {
 			return err
 		}
 	}
@@ -115,9 +119,9 @@ func run(args []string) error {
 
 // seedDemo populates the corpus with synthetic samples and trains an
 // initial model so the service can classify immediately.
-func seedDemo(srv *service.Server, samples, epochs int) error {
+func seedDemo(srv *service.Server, samples, epochs, workers int) error {
 	log.Printf("demo: generating %d synthetic samples", samples)
-	corpus, err := malgen.MSKCFG(malgen.Options{TotalSamples: samples, Seed: 1})
+	corpus, err := malgen.MSKCFG(malgen.Options{TotalSamples: samples, Seed: 1, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -134,6 +138,7 @@ func seedDemo(srv *service.Server, samples, epochs int) error {
 	tm := obs.NewTrainingMetrics(srv.Metrics())
 	tm.RunStarted(corpus.Len())
 	opts := core.TrainOptions{
+		Workers: workers,
 		Observer: core.EpochObserverFunc(func(e core.EpochStats) {
 			tm.ObserveEpoch(obs.EpochUpdate{
 				Epoch:        e.Epoch,

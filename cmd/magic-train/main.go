@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,11 +43,15 @@ func run(args []string) error {
 	valFrac := fs.Float64("val", 0.2, "validation fraction for model selection")
 	out := fs.String("out", "magic-model.json", "output model path")
 	quiet := fs.Bool("quiet", false, "suppress per-epoch logs")
+	workers := fs.Int("workers", 0, "data-parallel workers for extraction and training (0 = GOMAXPROCS); results are identical at any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 1 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
-	d, err := loadCorpus(*corpus, *samples, *seed)
+	d, err := loadCorpus(*corpus, *samples, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -83,7 +88,7 @@ func run(args []string) error {
 	}
 	fmt.Println("model:", m)
 
-	opts := core.TrainOptions{}
+	opts := core.TrainOptions{Workers: *workers}
 	if !*quiet {
 		// Live progress via the trainer's EpochObserver hook: loss and
 		// accuracy on both sets, learning rate, wall-clock per epoch, and a
@@ -125,12 +130,12 @@ type fitted struct{ m *core.Model }
 func (f *fitted) Fit(*dataset.Dataset) error          { return nil }
 func (f *fitted) Predict(s *dataset.Sample) []float64 { return f.m.Predict(s.ACFG) }
 
-func loadCorpus(corpus string, samples int, seed int64) (*dataset.Dataset, error) {
+func loadCorpus(corpus string, samples int, seed int64, workers int) (*dataset.Dataset, error) {
 	switch strings.ToLower(corpus) {
 	case "mskcfg":
-		return malgen.MSKCFG(malgen.Options{TotalSamples: samples, Seed: seed})
+		return malgen.MSKCFG(malgen.Options{TotalSamples: samples, Seed: seed, Workers: workers})
 	case "yancfg":
-		return malgen.YANCFG(malgen.Options{TotalSamples: samples, Seed: seed})
+		return malgen.YANCFG(malgen.Options{TotalSamples: samples, Seed: seed, Workers: workers})
 	default:
 		f, err := os.Open(corpus)
 		if err != nil {

@@ -1,0 +1,84 @@
+package asm_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/malgen"
+)
+
+// FuzzParse hammers the disassembly parser — the first stage of the
+// pipeline and the one fed attacker-controlled bytes in the service's
+// /v1/samples and /v1/predict endpoints. Parse must never panic; on success
+// the Program invariants must hold: addresses strictly increasing and
+// unique, every instruction resolvable through IndexOf/At/Next, sizes
+// derived from address gaps, and the round-trip through Format parseable.
+func FuzzParse(f *testing.F) {
+	// Seed corpus: realistic listings from the synthetic generator (one per
+	// family shape class), plus hand-written edge cases.
+	for _, seed := range []int64{1, 2, 3} {
+		prof := malgen.MSKProfileFor(int(seed) % 3)
+		f.Add(malgen.GenerateProgram(rand.New(rand.NewSource(seed)), prof))
+	}
+	f.Add("00401000 push ebp\n00401001 mov ebp, esp\n00401003 ret")
+	f.Add(".text:00401000 push ebp\n.text:00401001 jnz 0x401000")
+	f.Add("; comment only\n\n# another\nlabel:\n")
+	f.Add("00401000 mov eax, [ebp+8] ; trailing comment")
+	f.Add("zzzz not an address")
+	f.Add("00401000")
+	f.Add("00401000 jmp 0xffffffffffffffff")
+	f.Add("0x1 nop\n0x1 nop") // duplicate address
+	f.Add(strings.Repeat("00401000 nop\n", 3))
+
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := asm.ParseString(text)
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		var prev *asm.Instruction
+		for i, inst := range p.Insts {
+			if prev != nil {
+				if inst.Addr <= prev.Addr {
+					t.Fatalf("addresses not strictly increasing: %#x after %#x", inst.Addr, prev.Addr)
+				}
+				if prev.Size != inst.Addr-prev.Addr {
+					t.Fatalf("size of %#x is %d, want gap %d", prev.Addr, prev.Size, inst.Addr-prev.Addr)
+				}
+			}
+			if got := p.IndexOf(inst.Addr); got != i {
+				t.Fatalf("IndexOf(%#x) = %d, want %d", inst.Addr, got, i)
+			}
+			if p.At(inst.Addr) != inst {
+				t.Fatalf("At(%#x) did not resolve to instruction %d", inst.Addr, i)
+			}
+			next := p.Next(inst)
+			if i+1 < p.Len() && next != p.Insts[i+1] {
+				t.Fatalf("Next(%#x) skipped instruction %d", inst.Addr, i+1)
+			}
+			if i+1 == p.Len() && next != nil {
+				t.Fatalf("Next of final instruction %#x is not nil", inst.Addr)
+			}
+			prev = inst
+		}
+		if p.Len() > 0 && p.Insts[p.Len()-1].Size != 1 {
+			t.Fatalf("final instruction size %d, want 1", p.Insts[p.Len()-1].Size)
+		}
+		// Formatting a parsed program must itself parse, with identical
+		// addresses and mnemonics (operand spacing may normalize).
+		rt, err := asm.ParseString(p.String())
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\n%s", err, p.String())
+		}
+		if rt.Len() != p.Len() {
+			t.Fatalf("round-trip has %d instructions, want %d", rt.Len(), p.Len())
+		}
+		for i, inst := range p.Insts {
+			if rt.Insts[i].Addr != inst.Addr || rt.Insts[i].Mnemonic != inst.Mnemonic {
+				t.Fatalf("round-trip instruction %d: %#x %s, want %#x %s",
+					i, rt.Insts[i].Addr, rt.Insts[i].Mnemonic, inst.Addr, inst.Mnemonic)
+			}
+		}
+	})
+}

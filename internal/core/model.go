@@ -23,17 +23,19 @@ import (
 //
 // A Model is not safe for concurrent use: Forward caches per-sample state
 // inside its layers for the corresponding Backward. Callers that serve
-// predictions from multiple goroutines must serialize access (see
-// internal/service) or load one model per goroutine.
+// predictions from multiple goroutines use Replicate to obtain per-worker
+// replicas sharing one weight set (see ParallelBatch and Predictor), or
+// load one model per goroutine.
 type Model struct {
 	Config Config
 	K      int // resolved sort-pooling size (0 in adaptive mode)
 
-	conv   *GraphConvStack
-	sort   *SortPool
-	head   *nn.Sequential
-	scaler *Scaler
-	params []*nn.Param
+	conv     *GraphConvStack
+	sort     *SortPool
+	head     *nn.Sequential
+	scaler   *Scaler
+	params   []*nn.Param
+	dropouts []*nn.Dropout
 }
 
 // NewModel constructs a model. trainSizes supplies the training graphs'
@@ -64,7 +66,45 @@ func NewModel(cfg Config, trainSizes []int) (*Model, error) {
 
 	m.params = append(m.params, m.conv.Params()...)
 	m.params = append(m.params, m.head.Params()...)
+	for _, l := range m.head.Layers {
+		if d, ok := l.(*nn.Dropout); ok {
+			m.dropouts = append(m.dropouts, d)
+		}
+	}
 	return m, nil
+}
+
+// Replicate returns a lightweight replica for data-parallel execution: the
+// replica shares this model's parameter value tensors (optimizer updates are
+// visible to every replica immediately) and its attribute scaler, while
+// owning private gradient buffers and per-sample forward caches. Replicas
+// are how worker goroutines run Forward/Backward concurrently even though a
+// single Model is not; parameter values may only be mutated (opt.Step,
+// restoreParams) while no replica is mid-forward.
+func (m *Model) Replicate() (*Model, error) {
+	cfg := m.Config
+	cfg.K = m.K // reuse the resolved sort-pooling size (0 in adaptive mode)
+	r, err := NewModel(cfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: replicate: %w", err)
+	}
+	for i, p := range m.params {
+		r.params[i].Value = p.Value
+	}
+	r.scaler = m.scaler
+	return r, nil
+}
+
+// SeedSampleNoise deterministically re-points every stochastic layer
+// (dropout) at the mask stream for one specific training sample. The
+// trainer calls it before each training forward pass with a seed derived
+// from (config seed, epoch, sample index), making masks a pure function of
+// the sample — independent of batch order, worker count, or scheduling.
+func (m *Model) SeedSampleNoise(seed int64) {
+	for i, d := range m.dropouts {
+		// Offset per layer so stacked dropout layers draw distinct streams.
+		d.Reseed(seed + int64(i)*0x9E3779B9)
+	}
 }
 
 // buildConv1DHead realizes the original DGCNN remaining layer: the sort-pool

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/acfg"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// maxGradShards fixes the fan-in of the gradient tree reduction. A batch is
+// always decomposed into min(len(batch), maxGradShards) contiguous shards —
+// a function of the batch length alone, never of the worker count or the
+// machine — and shard buffers are reduced in a fixed binary-tree order. The
+// gradient sum that reaches the optimizer is therefore bit-identical for
+// every TrainOptions.Workers value, which is the determinism contract the
+// golden test in parallel_test.go enforces.
+const maxGradShards = 8
+
+// evalChunk is the work granularity of gradient-free phases (validation,
+// PredictBatch). Results are written to per-sample slots, so chunking only
+// affects load balance, never the outcome.
+const evalChunk = 4
+
+// sampleTask is one unit of per-sample work handed to a worker replica.
+type sampleTask struct {
+	prop  *graph.Propagator
+	a     *acfg.ACFG
+	label int
+	seed  int64 // dropout mask seed (training only)
+}
+
+// sampleResult is one sample's contribution to the epoch statistics,
+// written to a position-indexed slot so aggregation order is fixed.
+type sampleResult struct {
+	loss float64
+	hit  bool
+}
+
+// ParallelBatch shards per-sample model execution across a pool of worker
+// replicas that share one weight set. The engine guarantees parallel ≡
+// serial: for a fixed seed, training losses and final parameters are
+// bit-identical at any worker count, because
+//
+//   - every per-sample forward/backward is a pure function of the shared
+//     weights and the sample (dropout masks are seeded per sample via
+//     Model.SeedSampleNoise, not drawn from a shared stream);
+//   - gradients accumulate into per-shard buffers whose decomposition
+//     depends only on the batch length (maxGradShards);
+//   - shard buffers reduce into the main model's gradients in a fixed
+//     binary-tree order (reduceShards).
+//
+// A ParallelBatch is bound to one Model and is not itself safe for
+// concurrent use; distinct engines over distinct models may run
+// concurrently.
+type ParallelBatch struct {
+	main     *Model
+	replicas []*Model // replicas[0] == main
+	workers  int
+
+	// shardGrads[s][p] buffers shard s's gradient sum for parameter p.
+	shardGrads [][]*tensor.Matrix
+}
+
+// NewParallelBatch builds an engine with the given worker count (values < 1
+// are clamped to 1; values above maxGradShards gain nothing for training
+// since shards are the unit of work).
+func NewParallelBatch(m *Model, workers int) (*ParallelBatch, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &ParallelBatch{main: m, workers: workers}
+	e.replicas = make([]*Model, workers)
+	e.replicas[0] = m
+	for i := 1; i < workers; i++ {
+		r, err := m.Replicate()
+		if err != nil {
+			return nil, err
+		}
+		e.replicas[i] = r
+	}
+	e.shardGrads = make([][]*tensor.Matrix, maxGradShards)
+	for s := range e.shardGrads {
+		bufs := make([]*tensor.Matrix, len(m.params))
+		for pi, p := range m.params {
+			bufs[pi] = tensor.New(p.Value.Rows, p.Value.Cols)
+		}
+		e.shardGrads[s] = bufs
+	}
+	return e, nil
+}
+
+// Workers returns the engine's worker count.
+func (e *ParallelBatch) Workers() int { return e.workers }
+
+// shardRanges splits n items into at most shards contiguous [start, end)
+// ranges, front-loading the remainder so sizes differ by at most one. The
+// decomposition is a pure function of (n, shards).
+func shardRanges(n, shards int) [][2]int {
+	if shards > n {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([][2]int, 0, shards)
+	q, r := n/shards, n%shards
+	start := 0
+	for s := 0; s < shards; s++ {
+		size := q
+		if s < r {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// TrainBatch runs forward/backward for one mini-batch, leaving the
+// deterministically reduced gradient SUM (not mean — see stepBatch) in the
+// main model's parameters and per-sample losses/hits in results, which must
+// have len(tasks) slots. On any worker error the pool drains, gradients are
+// discarded, and the first failing shard's error (lowest shard index) is
+// returned.
+func (e *ParallelBatch) TrainBatch(tasks []sampleTask, results []sampleResult) error {
+	start := time.Now()
+	shards := shardRanges(len(tasks), maxGradShards)
+	var busy atomic.Int64
+	err := e.runShards(len(shards), func(w, si int) error {
+		t0 := time.Now()
+		defer func() { busy.Add(int64(time.Since(t0))) }()
+		return e.runTrainShard(e.replicas[w], si, shards[si], tasks, results)
+	})
+	if err != nil {
+		return err
+	}
+	reduceShards(e.main.params, e.shardGrads, len(shards))
+	obs.ObserveParallelBatch(obs.PhaseTrain, e.workers, len(tasks),
+		time.Since(start), time.Duration(busy.Load()))
+	return nil
+}
+
+// runTrainShard executes one shard on one replica: per-sample seeded
+// forward, loss, backward; then flushes the replica's accumulated gradients
+// into the shard's buffer and zeroes them so the replica is clean for its
+// next shard. Panics (malformed samples reaching the numeric core) are
+// converted to errors.
+func (e *ParallelBatch) runTrainShard(rep *Model, si int, r [2]int, tasks []sampleTask, results []sampleResult) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("core: parallel batch shard %d: %v", si, p)
+		}
+		if err != nil {
+			for _, pp := range rep.params {
+				pp.Grad.Zero() // discard partial shard gradients
+			}
+		}
+	}()
+	for i := r[0]; i < r[1]; i++ {
+		t := tasks[i]
+		rep.SeedSampleNoise(t.seed)
+		logits := rep.forwardProp(t.prop, t.a, true)
+		loss, _, dlogits := nn.SoftmaxNLL(logits, t.label)
+		results[i] = sampleResult{loss: loss, hit: argmax(logits) == t.label}
+		rep.Backward(dlogits)
+	}
+	for pi, p := range rep.params {
+		copy(e.shardGrads[si][pi].Data, p.Grad.Data)
+		p.Grad.Zero()
+	}
+	return nil
+}
+
+// EvalBatch computes per-sample inference losses and argmax hits (dropout
+// off, no gradients) into results, which must have len(tasks) slots. The
+// per-sample numbers are identical to a serial EvaluateLoss sweep.
+func (e *ParallelBatch) EvalBatch(tasks []sampleTask, results []sampleResult) error {
+	start := time.Now()
+	chunks := shardRanges(len(tasks), (len(tasks)+evalChunk-1)/evalChunk)
+	var busy atomic.Int64
+	err := e.runShards(len(chunks), func(w, si int) (err error) {
+		t0 := time.Now()
+		defer func() { busy.Add(int64(time.Since(t0))) }()
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("core: parallel eval chunk %d: %v", si, p)
+			}
+		}()
+		rep := e.replicas[w]
+		for i := chunks[si][0]; i < chunks[si][1]; i++ {
+			t := tasks[i]
+			probs := nn.Softmax(rep.forwardProp(t.prop, t.a, false))
+			results[i] = sampleResult{loss: nn.NLLOfProbs(probs, t.label), hit: argmax(probs) == t.label}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	obs.ObserveParallelBatch(obs.PhaseValidate, e.workers, len(tasks),
+		time.Since(start), time.Duration(busy.Load()))
+	return nil
+}
+
+// predictAll fills out[i] with the class-probability vector of tasks[i].
+func (e *ParallelBatch) predictAll(tasks []sampleTask, out [][]float64) error {
+	start := time.Now()
+	chunks := shardRanges(len(tasks), (len(tasks)+evalChunk-1)/evalChunk)
+	var busy atomic.Int64
+	err := e.runShards(len(chunks), func(w, si int) (err error) {
+		t0 := time.Now()
+		defer func() { busy.Add(int64(time.Since(t0))) }()
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("core: parallel predict chunk %d: %v", si, p)
+			}
+		}()
+		rep := e.replicas[w]
+		for i := chunks[si][0]; i < chunks[si][1]; i++ {
+			out[i] = nn.Softmax(rep.forwardProp(tasks[i].prop, tasks[i].a, false))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	obs.ObserveParallelBatch(obs.PhasePredict, e.workers, len(tasks),
+		time.Since(start), time.Duration(busy.Load()))
+	return nil
+}
+
+// runShards distributes shard indices 0..n-1 over the worker pool and waits
+// for completion. Shard→worker assignment is dynamic (it never influences
+// results: every shard writes only its own buffers/slots). On error the
+// remaining shards are skipped so the pool shuts down promptly; the error
+// of the lowest-indexed failing shard is returned, making error selection
+// deterministic too.
+func (e *ParallelBatch) runShards(n int, run func(worker, shard int) error) error {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for si := 0; si < n; si++ {
+			if errs[si] = run(0, si); errs[si] != nil {
+				return errs[si]
+			}
+		}
+		return nil
+	}
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= n || failed.Load() {
+					return
+				}
+				if err := run(w, si); err != nil {
+					errs[si] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reduceShards folds the first n shard gradient buffers into params' Grad
+// in a fixed binary-tree order — pairs at stride 1, then 2, 4, … — whose
+// shape depends only on n. Floating-point addition is not associative, so
+// fixing the tree (rather than, say, summing shards in worker-completion
+// order) is what makes the reduced gradient independent of scheduling.
+// After the call the shard buffers hold reduction scratch and must be
+// considered garbage until the next TrainBatch overwrites them.
+func reduceShards(params []*nn.Param, shards [][]*tensor.Matrix, n int) {
+	for stride := 1; stride < n; stride *= 2 {
+		for i := 0; i+stride < n; i += 2 * stride {
+			for pi := range params {
+				dst, src := shards[i][pi].Data, shards[i+stride][pi].Data
+				for k, v := range src {
+					dst[k] += v
+				}
+			}
+		}
+	}
+	for pi, p := range params {
+		copy(p.Grad.Data, shards[0][pi].Data)
+	}
+}
+
+// PredictBatch classifies many ACFGs concurrently with a replica pool,
+// returning one probability vector per input (in input order). workers < 1
+// selects runtime.GOMAXPROCS. Results are identical to calling Predict
+// serially on each sample.
+func (m *Model) PredictBatch(as []*acfg.ACFG, workers int) ([][]float64, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e, err := NewParallelBatch(m, workers)
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]sampleTask, len(as))
+	for i, a := range as {
+		tasks[i] = sampleTask{prop: graph.NewPropagator(a.Graph), a: a}
+	}
+	out := make([][]float64, len(as))
+	if err := e.predictAll(tasks, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Predictor serves single-sample predictions concurrently from a pool of
+// model replicas sharing one weight set — the serving-path counterpart of
+// ParallelBatch, used by magic-server's /v1/predict so inference requests
+// no longer serialize on one model's forward caches. A Predictor is safe
+// for concurrent use; the underlying weights must not be mutated while it
+// is serving (install a new Predictor after retraining instead).
+type Predictor struct {
+	pool chan *Model
+	size int
+}
+
+// NewPredictor builds a pool of `replicas` model replicas (values < 1 are
+// clamped to 1; the first slot reuses m itself).
+func NewPredictor(m *Model, replicas int) (*Predictor, error) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	p := &Predictor{pool: make(chan *Model, replicas), size: replicas}
+	p.pool <- m
+	for i := 1; i < replicas; i++ {
+		r, err := m.Replicate()
+		if err != nil {
+			return nil, err
+		}
+		p.pool <- r
+	}
+	return p, nil
+}
+
+// Size returns the replica count.
+func (p *Predictor) Size() int { return p.size }
+
+// Predict returns the class-probability vector for one ACFG, blocking until
+// a replica is free.
+func (p *Predictor) Predict(a *acfg.ACFG) []float64 {
+	m := <-p.pool
+	defer func() { p.pool <- m }()
+	return m.Predict(a)
+}
+
+// sampleSeed derives the dropout seed for one (epoch, sample) pair from the
+// run seed via a splitmix64-style mix, so every sample owns an independent,
+// order-free mask stream.
+func sampleSeed(base int64, epoch, idx int) int64 {
+	x := uint64(base) + 0x9E3779B97F4A7C15*uint64(epoch+1) + 0xBF58476D1CE4E5B9*uint64(idx+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}

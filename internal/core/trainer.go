@@ -99,12 +99,22 @@ type TrainOptions struct {
 	// epoch — the hook live-progress output and obs.TrainingMetrics hang
 	// off of.
 	Observer EpochObserver
+	// Workers sets the data-parallel worker count for batch execution
+	// (forward/backward sharding and validation sweeps). Values below 2
+	// run serially. Training is bit-identical at every worker count: the
+	// batch engine decomposes batches into worker-independent shards and
+	// reduces gradients in a fixed tree order (see ParallelBatch).
+	Workers int
 }
 
 // Train fits the model on train, monitoring val (which may be nil). It fits
 // the attribute scaler, runs mini-batch Adam with the paper's
 // decay-on-plateau schedule, and restores the parameters of the epoch with
 // the lowest validation loss (the paper's model-selection criterion).
+//
+// Batch execution is data-parallel across opts.Workers goroutines and
+// deterministic: for a fixed Config.Seed the loss curves and final
+// parameters are bit-identical at every worker count (see ParallelBatch).
 func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, error) {
 	if train.Len() == 0 {
 		return nil, fmt.Errorf("core: empty training set")
@@ -122,6 +132,11 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 	sched := nn.NewPlateauScheduler(opt)
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 
+	engine, err := NewParallelBatch(m, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+
 	hist := &History{BestValLoss: -1}
 	var best []*tensor.Matrix
 	sinceBest := 0
@@ -130,6 +145,19 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 	for i := range order {
 		order[i] = i
 	}
+
+	// Validation tasks are fixed across epochs; build them once.
+	var valTasks []sampleTask
+	var valResults []sampleResult
+	if val != nil && val.Len() > 0 {
+		valTasks = make([]sampleTask, val.Len())
+		valResults = make([]sampleResult, val.Len())
+		for i, s := range val.Samples {
+			valTasks[i] = sampleTask{prop: valProps[i], a: s.ACFG, label: s.Label}
+		}
+	}
+	tasks := make([]sampleTask, 0, cfg.BatchSize)
+	results := make([]sampleResult, cfg.BatchSize)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
@@ -141,17 +169,31 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 			if end > len(order) {
 				end = len(order)
 			}
+			tasks = tasks[:0]
 			for _, idx := range order[start:end] {
 				s := train.Samples[idx]
-				logits := m.forwardProp(trainProps[idx], s.ACFG, true)
-				loss, _, dlogits := nn.SoftmaxNLL(logits, s.Label)
-				trainLoss += loss
-				if argmax(logits) == s.Label {
+				tasks = append(tasks, sampleTask{
+					prop:  trainProps[idx],
+					a:     s.ACFG,
+					label: s.Label,
+					// The dropout seed keys on the dataset index, not the
+					// batch position, so masks survive reshuffling intact.
+					seed: sampleSeed(cfg.Seed, epoch, idx),
+				})
+			}
+			batch := results[:len(tasks)]
+			if err := engine.TrainBatch(tasks, batch); err != nil {
+				return nil, err
+			}
+			// Aggregate in slot order — fixed regardless of which worker
+			// produced which result.
+			for _, r := range batch {
+				trainLoss += r.loss
+				if r.hit {
 					trainHits++
 				}
-				m.Backward(dlogits)
 			}
-			opt.Step(end - start)
+			stepBatch(opt, end-start)
 		}
 		trainLoss /= float64(train.Len())
 		trainAcc := float64(trainHits) / float64(train.Len())
@@ -159,14 +201,15 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 
 		monitor := trainLoss
 		valLoss, valAcc := 0.0, 0.0
-		hasVal := val != nil && val.Len() > 0
+		hasVal := valTasks != nil
 		if hasVal {
+			if err := engine.EvalBatch(valTasks, valResults); err != nil {
+				return nil, err
+			}
 			valHits := 0
-			for i, s := range val.Samples {
-				logits := m.forwardProp(valProps[i], s.ACFG, false)
-				probs := nn.Softmax(logits)
-				valLoss += nn.NLLOfProbs(probs, s.Label)
-				if argmax(probs) == s.Label {
+			for _, r := range valResults {
+				valLoss += r.loss
+				if r.hit {
 					valHits++
 				}
 			}
@@ -217,6 +260,17 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 		restoreParams(m.Params(), best)
 	}
 	return hist, nil
+}
+
+// stepBatch applies one optimizer update for a batch of n samples. The
+// gradient-averaging contract: Param.Grad holds the SUM of per-sample
+// gradients (the parallel engine's tree reduction preserves the sum and
+// never pre-averages shards) and opt.Step(n) scales by 1/n. The effective
+// learning rate therefore depends only on the batch size — never on how
+// the batch was sharded across workers or the order shards were reduced
+// in. optim_test.go pins this contract down.
+func stepBatch(opt nn.Optimizer, n int) {
+	opt.Step(n)
 }
 
 // EvaluateLoss computes the mean NLL of the model over a dataset.

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func chainListing(base uint64, n int) string {
+	var sb strings.Builder
+	addr := base
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%08x mov eax, %d\n", addr, i)
+		addr += 5
+	}
+	fmt.Fprintf(&sb, "%08x ret\n", addr)
+	return sb.String()
+}
+
+func testSources(n int) []Source {
+	srcs := make([]Source, n)
+	for i := range srcs {
+		srcs[i] = Source{
+			Name:  fmt.Sprintf("s-%03d", i),
+			Label: i % 3,
+			ASM:   chainListing(0x401000, 3+i%5),
+		}
+	}
+	return srcs
+}
+
+// TestExtractACFGsDeterministicAcrossWorkers runs the same sources at
+// several worker counts and demands identical samples in identical order.
+func TestExtractACFGsDeterministicAcrossWorkers(t *testing.T) {
+	srcs := testSources(17)
+	ref, err := ExtractACFGs(srcs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(srcs) {
+		t.Fatalf("got %d samples, want %d", len(ref), len(srcs))
+	}
+	for _, workers := range []int{2, 4, 32} {
+		got, err := ExtractACFGs(srcs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if got[i].Name != srcs[i].Name || got[i].Label != srcs[i].Label {
+				t.Fatalf("workers=%d sample %d: got %s/%d, want %s/%d",
+					workers, i, got[i].Name, got[i].Label, srcs[i].Name, srcs[i].Label)
+			}
+			if got[i].ACFG.NumVertices() != ref[i].ACFG.NumVertices() {
+				t.Fatalf("workers=%d sample %d: %d vertices, want %d",
+					workers, i, got[i].ACFG.NumVertices(), ref[i].ACFG.NumVertices())
+			}
+			for j, v := range ref[i].ACFG.Attrs.Data {
+				if got[i].ACFG.Attrs.Data[j] != v {
+					t.Fatalf("workers=%d sample %d: attribute %d differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestExtractACFGsFirstErrorWins poisons two sources and checks the
+// returned error names the lowest-indexed one regardless of worker count —
+// the deterministic-error contract.
+func TestExtractACFGsFirstErrorWins(t *testing.T) {
+	srcs := testSources(12)
+	srcs[9].ASM = "not disassembly at all"
+	srcs[4].ASM = "also broken"
+	for _, workers := range []int{1, 4} {
+		_, err := ExtractACFGs(srcs, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: extraction of broken source succeeded", workers)
+		}
+		if !strings.Contains(err.Error(), srcs[4].Name) {
+			t.Fatalf("workers=%d: error %q does not name first failing source %s", workers, err, srcs[4].Name)
+		}
+	}
+}
+
+func TestExtractACFGsEmpty(t *testing.T) {
+	out, err := ExtractACFGs(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %d samples from no sources", len(out))
+	}
+}

@@ -30,7 +30,20 @@ type Options struct {
 	Epochs  int   // training epochs (default 20)
 	Folds   int   // cross-validation folds (default 5, the paper's k)
 	Seed    int64 // global seed (default 1)
+	Workers int   // data-parallel workers for generation, training, eval (0/1 = serial)
 	Logf    func(format string, args ...any)
+}
+
+// corpusOpts derives the synthetic-corpus generation options, carrying the
+// worker count into the parallel ACFG extraction stage.
+func (o Options) corpusOpts() malgen.Options {
+	return malgen.Options{TotalSamples: o.Samples, Seed: o.Seed, Workers: o.Workers}
+}
+
+// trainOpts derives the training options; results are bit-identical at any
+// worker count (see core.ParallelBatch), so experiments stay reproducible.
+func (o Options) trainOpts() core.TrainOptions {
+	return core.TrainOptions{Workers: o.Workers}
 }
 
 func (o Options) withDefaults(samples int) Options {
@@ -109,7 +122,7 @@ type Distribution struct {
 // distribution.
 func Figure7(o Options) ([]Distribution, error) {
 	o = o.withDefaults(360)
-	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	d, err := malgen.MSKCFG(o.corpusOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +133,7 @@ func Figure7(o Options) ([]Distribution, error) {
 // distribution.
 func Figure8(o Options) ([]Distribution, error) {
 	o = o.withDefaults(450)
-	d, err := malgen.YANCFG(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	d, err := malgen.YANCFG(o.corpusOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +172,7 @@ func FormatDistribution(title string, dist []Distribution) string {
 // accuracy and mean log-loss (MAGIC's row of Table IV).
 func Table3(o Options) (*eval.CVResult, error) {
 	o = o.withDefaults(360)
-	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	d, err := malgen.MSKCFG(o.corpusOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +183,7 @@ func Table3(o Options) (*eval.CVResult, error) {
 // Table5 is Table3 for the YANCFG corpus (Table V / Figure 10).
 func Table5(o Options) (*eval.CVResult, error) {
 	o = o.withDefaults(450)
-	d, err := malgen.YANCFG(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	d, err := malgen.YANCFG(o.corpusOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +196,7 @@ func runMAGIC(o Options, d *dataset.Dataset, cfg core.Config) (*eval.CVResult, e
 		o.logf("MAGIC fold %d/%d", f+1, o.Folds)
 		c := cfg
 		c.Seed = o.Seed + int64(f)
-		return &core.Classifier{Cfg: c}, nil
+		return &core.Classifier{Cfg: c, Opts: o.trainOpts()}, nil
 	})
 }
 
@@ -199,7 +212,7 @@ type Table4Row struct {
 // two columns of Table IV.
 func Table4(o Options) ([]Table4Row, error) {
 	o = o.withDefaults(360)
-	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	d, err := malgen.MSKCFG(o.corpusOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +283,7 @@ type Fig11Row struct {
 // repeat it).
 func Figure11(o Options) ([]Fig11Row, *eval.CVResult, error) {
 	o = o.withDefaults(450)
-	d, err := malgen.YANCFG(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	d, err := malgen.YANCFG(o.corpusOpts())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -323,7 +336,7 @@ func Table2(o Options, full bool) (*Table2Result, error) {
 	if o.Epochs > 8 {
 		o.Epochs = 8 // sweeps multiply; keep each setting short
 	}
-	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	d, err := malgen.MSKCFG(o.corpusOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -379,7 +392,7 @@ func MeasureOverhead(o Options) (*Overhead, error) {
 	o = o.withDefaults(120)
 	// ACFG construction: time generation+parsing+building of MSK samples.
 	start := time.Now()
-	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	d, err := malgen.MSKCFG(o.corpusOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -396,7 +409,7 @@ func MeasureOverhead(o Options) (*Overhead, error) {
 		return nil, err
 	}
 	start = time.Now()
-	if _, err := core.Train(m, train, nil, core.TrainOptions{}); err != nil {
+	if _, err := core.Train(m, train, nil, o.trainOpts()); err != nil {
 		return nil, err
 	}
 	trainPer := time.Since(start) / time.Duration(train.Len()*cfg.Epochs)
@@ -422,7 +435,7 @@ type AblationRow struct {
 // the design-choice ablation DESIGN.md calls out.
 func AblateHeads(o Options) ([]AblationRow, error) {
 	o = o.withDefaults(240)
-	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	d, err := malgen.MSKCFG(o.corpusOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -465,7 +478,7 @@ func AblateHeads(o Options) ([]AblationRow, error) {
 // counters only, and vertex-structure counters only.
 func AblateAttributes(o Options) ([]AblationRow, error) {
 	o = o.withDefaults(240)
-	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	d, err := malgen.MSKCFG(o.corpusOpts())
 	if err != nil {
 		return nil, err
 	}

@@ -49,7 +49,7 @@ func obfuscationRobustness(o Options, intensities []float64, augment bool) ([]Ro
 	if len(intensities) == 0 {
 		intensities = []float64{0, 0.25, 0.5, 1, 2}
 	}
-	corpus, texts, err := malgen.MSKCFGTexts(malgen.Options{TotalSamples: o.Samples, Seed: o.Seed})
+	corpus, texts, err := malgen.MSKCFGTexts(o.corpusOpts())
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +89,7 @@ func obfuscationRobustness(o Options, intensities []float64, augment bool) ([]Ro
 		return nil, err
 	}
 	o.logf("training model on %d samples (augmented=%v)", train.Len(), augment)
-	if _, err := core.Train(m, train, nil, core.TrainOptions{}); err != nil {
+	if _, err := core.Train(m, train, nil, o.trainOpts()); err != nil {
 		return nil, err
 	}
 

@@ -52,7 +52,16 @@ func (g *Directed) AddEdge(u, v int) {
 		return
 	}
 	g.set[u][v] = true
-	g.out[u] = append(g.out[u], v)
+	// Insert in sorted position so successor lists are always ordered and
+	// Succ never has to mutate — a built graph is then safe for concurrent
+	// readers (the data-parallel trainer builds one Propagator per sample
+	// while replicas read graphs from worker goroutines).
+	row := g.out[u]
+	i := sort.SearchInts(row, v)
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = v
+	g.out[u] = row
 }
 
 // HasEdge reports whether u→v exists.
@@ -64,9 +73,9 @@ func (g *Directed) HasEdge(u, v int) bool {
 }
 
 // Succ returns the successors of u. The returned slice is sorted and must
-// not be modified.
+// not be modified. Succ performs no writes, so a fully built graph may be
+// read from multiple goroutines concurrently.
 func (g *Directed) Succ(u int) []int {
-	sort.Ints(g.out[u])
 	return g.out[u]
 }
 

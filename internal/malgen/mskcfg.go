@@ -5,9 +5,6 @@ import (
 	"math/rand"
 	"sync"
 
-	"repro/internal/acfg"
-	"repro/internal/asm"
-	"repro/internal/cfg"
 	"repro/internal/dataset"
 )
 
@@ -179,7 +176,9 @@ func generateASMCorpus(opts Options, profiles []MSKProfile) (*dataset.Dataset, [
 	counts := apportion(opts.TotalSamples, profiles)
 
 	// Plan every sample's seed up front (sequentially, for determinism),
-	// then generate the samples with a bounded worker pool.
+	// then synthesize listings with a bounded worker pool. Each text is a
+	// pure function of its planned seed, so output is identical at any
+	// worker count.
 	type job struct {
 		idx     int
 		label   int
@@ -193,23 +192,9 @@ func generateASMCorpus(opts Options, profiles []MSKProfile) (*dataset.Dataset, [
 			jobs = append(jobs, job{idx: len(jobs), label: label, ordinal: i, seed: rng.Int63()})
 		}
 	}
-	samples := make([]*dataset.Sample, len(jobs))
 	texts := make([]string, len(jobs))
-	errs := make([]error, len(jobs))
-	runJob := func(j job) {
-		p := profiles[j.label]
-		text := GenerateProgram(rand.New(rand.NewSource(j.seed)), p)
-		prog, err := asm.ParseString(text)
-		if err != nil {
-			errs[j.idx] = fmt.Errorf("malgen: %s sample %d: %w", p.Name, j.ordinal, err)
-			return
-		}
-		texts[j.idx] = text
-		samples[j.idx] = &dataset.Sample{
-			Name:  fmt.Sprintf("%s-%04d", p.Name, j.ordinal),
-			Label: j.label,
-			ACFG:  acfg.FromCFG(cfg.Build(prog)),
-		}
+	genText := func(j job) {
+		texts[j.idx] = GenerateProgram(rand.New(rand.NewSource(j.seed)), profiles[j.label])
 	}
 	if opts.Workers > 1 {
 		jobCh := make(chan job)
@@ -219,7 +204,7 @@ func generateASMCorpus(opts Options, profiles []MSKProfile) (*dataset.Dataset, [
 			go func() {
 				defer wg.Done()
 				for j := range jobCh {
-					runJob(j)
+					genText(j)
 				}
 			}()
 		}
@@ -230,13 +215,23 @@ func generateASMCorpus(opts Options, profiles []MSKProfile) (*dataset.Dataset, [
 		wg.Wait()
 	} else {
 		for _, j := range jobs {
-			runJob(j)
+			genText(j)
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+
+	// The back half — parse → CFG → Table I attributes — is the shared
+	// multi-threaded extraction stage in internal/dataset.
+	sources := make([]dataset.Source, len(jobs))
+	for _, j := range jobs {
+		sources[j.idx] = dataset.Source{
+			Name:  fmt.Sprintf("%s-%04d", profiles[j.label].Name, j.ordinal),
+			Label: j.label,
+			ASM:   texts[j.idx],
 		}
+	}
+	samples, err := dataset.ExtractACFGs(sources, opts.Workers)
+	if err != nil {
+		return nil, nil, fmt.Errorf("malgen: %w", err)
 	}
 	for _, s := range samples {
 		d.Add(s)

@@ -169,6 +169,16 @@ func NewDropout(rng *rand.Rand, rate float64) *Dropout {
 	return &Dropout{Rate: rate, rng: rng}
 }
 
+// Reseed re-points the layer's mask stream at a deterministic position,
+// detaching it from any rng shared at construction time. The trainer calls
+// this with a per-sample seed before each training forward pass so the mask
+// depends only on (seed, sample) — never on the order or goroutine that
+// happens to process the sample. This is the keystone of the data-parallel
+// trainer's parallel-equals-serial guarantee.
+func (d *Dropout) Reseed(seed int64) {
+	d.rng = rand.New(rand.NewSource(seed))
+}
+
 // Forward applies the dropout mask during training and is the identity at
 // inference time.
 func (d *Dropout) Forward(in *Volume, train bool) *Volume {

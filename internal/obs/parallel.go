@@ -1,0 +1,44 @@
+package obs
+
+import "time"
+
+// Canonical phase labels for the data-parallel batch engine (internal/core):
+// training batches, validation sweeps, and batched/pooled inference.
+const (
+	PhaseTrain    = "train"
+	PhaseValidate = "validate"
+	PhasePredict  = "predict"
+	PhaseExtract  = "extract"
+)
+
+// Data-parallel execution metrics live on the Default registry (like the
+// pipeline stage timers) so the batch engine inside internal/core needs no
+// wiring; magic-server's /metrics picks them up automatically.
+//
+//	utilization = rate(magic_parallel_worker_busy_seconds_total[1m])
+//	            / (magic_parallel_workers * rate(magic_parallel_batch_duration_seconds_sum[1m]))
+var (
+	parallelBatchDuration = Default().HistogramVec("magic_parallel_batch_duration_seconds",
+		"Wall-clock cost of one data-parallel batch, by execution phase.",
+		DefBuckets, "phase")
+	parallelBatchTotal = Default().CounterVec("magic_parallel_batches_total",
+		"Batches executed by the data-parallel engine, by phase.", "phase")
+	parallelSamplesTotal = Default().CounterVec("magic_parallel_samples_total",
+		"Samples processed by the data-parallel engine, by phase.", "phase")
+	parallelWorkerBusy = Default().CounterVec("magic_parallel_worker_busy_seconds_total",
+		"Cumulative time workers spent executing shards (summed across workers), by phase.", "phase")
+	parallelWorkers = Default().GaugeVec("magic_parallel_workers",
+		"Worker count most recently used by the data-parallel engine, by phase.", "phase")
+)
+
+// ObserveParallelBatch records one completed data-parallel batch: its phase,
+// the worker count it ran with, the number of samples it covered, its
+// wall-clock duration, and the summed busy time of all workers. Worker
+// utilization is derivable as busy / (workers × wall).
+func ObserveParallelBatch(phase string, workers, samples int, wall, busy time.Duration) {
+	parallelBatchDuration.With(phase).Observe(wall.Seconds())
+	parallelBatchTotal.With(phase).Inc()
+	parallelSamplesTotal.With(phase).Add(float64(samples))
+	parallelWorkerBusy.With(phase).Add(busy.Seconds())
+	parallelWorkers.With(phase).Set(float64(workers))
+}

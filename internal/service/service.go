@@ -14,6 +14,9 @@
 //
 // All state is in memory and guarded by a single mutex; training holds the
 // write path but predictions against the previous model keep serving.
+// Predictions run concurrently on a pool of model replicas sharing the
+// installed model's weights (core.Predictor); SetParallelism sizes the pool
+// and the training worker count.
 //
 // Every endpoint is instrumented through obs.HTTPMetrics (request counts,
 // in-flight gauge, latency histograms, all labeled by route), training
@@ -26,6 +29,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -51,10 +55,15 @@ type Server struct {
 	training  bool
 	trainedAt time.Time
 
-	// predictMu serializes inference: the model's forward pass caches
-	// per-sample state inside its layers, so a single model instance is
-	// not safe for concurrent Predict calls.
-	predictMu sync.Mutex
+	// predictor serves /v1/predict from a pool of model replicas sharing
+	// the installed model's weights, so concurrent requests no longer
+	// serialize on one model's per-sample forward caches. It is rebuilt
+	// whenever a model is installed (LoadModel or training completion).
+	predictor *core.Predictor
+
+	// parallelism is the worker count for training batches and the predict
+	// replica pool. 0 selects runtime.GOMAXPROCS.
+	parallelism int
 
 	now func() time.Time
 
@@ -121,6 +130,28 @@ func NewWithRegistry(families []string, cfgTemplate core.Config, reg *obs.Regist
 // want to mount or inspect it directly.
 func (s *Server) Metrics() *obs.Registry { return s.registry }
 
+// SetParallelism sets the worker count used for training batches and the
+// size of the predict replica pool. n < 1 selects runtime.GOMAXPROCS. When
+// a model is already installed its predictor pool is rebuilt at the new
+// size.
+func (s *Server) SetParallelism(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.parallelism = n
+	if s.model != nil {
+		return s.installModelLocked(s.model)
+	}
+	return nil
+}
+
+// workersLocked resolves the configured parallelism; callers hold s.mu.
+func (s *Server) workersLocked() int {
+	if s.parallelism > 0 {
+		return s.parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // LoadModel installs a pre-trained model (e.g. from magic-train).
 func (s *Server) LoadModel(m *core.Model) error {
 	if m.Config.Classes != len(s.families) {
@@ -129,7 +160,18 @@ func (s *Server) LoadModel(m *core.Model) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.installModelLocked(m)
+}
+
+// installModelLocked makes m the serving model and builds its replica pool;
+// callers hold s.mu.
+func (s *Server) installModelLocked(m *core.Model) error {
+	pred, err := core.NewPredictor(m, s.workersLocked())
+	if err != nil {
+		return fmt.Errorf("service: build predictor pool: %w", err)
+	}
 	s.model = m
+	s.predictor = pred
 	s.trainedAt = s.now()
 	s.modelParams.Set(float64(m.NumParameters()))
 	return nil
@@ -277,6 +319,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	if body.Epochs > 0 {
 		cfg.Epochs = body.Epochs
 	}
+	workers := s.workersLocked()
 	s.training = true
 	s.mu.Unlock()
 
@@ -306,6 +349,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hist, err := core.Train(m, fit, val, core.TrainOptions{
+		Workers: workers,
 		Observer: core.EpochObserverFunc(func(e core.EpochStats) {
 			s.trainMetrics.ObserveEpoch(epochUpdate(e))
 		}),
@@ -317,11 +361,14 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	s.model = m
-	s.trainedAt = s.now()
+	installErr := s.installModelLocked(m)
 	s.training = false
-	s.modelParams.Set(float64(m.NumParameters()))
 	s.mu.Unlock()
+	if installErr != nil {
+		s.trainMetrics.RunFinished(true)
+		writeError(w, http.StatusInternalServerError, installErr)
+		return
+	}
 	s.trainMetrics.RunFinished(false)
 
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -346,15 +393,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	m := s.model
+	pred := s.predictor
 	s.mu.Unlock()
-	if m == nil {
+	if pred == nil {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no model trained yet"))
 		return
 	}
-	s.predictMu.Lock()
-	probs := m.Predict(a)
-	s.predictMu.Unlock()
+	probs := pred.Predict(a)
 	preds := make([]prediction, len(probs))
 	for i, p := range probs {
 		preds[i] = prediction{Family: s.families[i], Probability: p}

@@ -280,3 +280,89 @@ func TestConcurrentPredictions(t *testing.T) {
 }
 
 func itoa(v int) string { return strconv.Itoa(v) }
+
+// TestSetParallelismRebuildsPool resizes the replica pool on a live server
+// and checks pooled predictions still match the model bit-for-bit.
+func TestSetParallelismRebuildsPool(t *testing.T) {
+	srv, _, client := newTestServer(t, []string{"clean", "dirty"})
+	m, err := core.NewModel(testConfig(), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadModel(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetParallelism(3); err != nil {
+		t.Fatal(err)
+	}
+	a := malgen.GenerateACFG(rand.New(rand.NewSource(5)), malgen.YanProfileFor(1))
+	want := m.Predict(a)
+	for i := 0; i < 6; i++ { // cycle through every replica in the pool
+		res, err := client.PredictACFG(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, p := range res.Predictions {
+			label := srv.labelOf[p.Family]
+			if p.Probability != want[label] {
+				t.Fatalf("request %d rank %d: pooled probability %v != model %v",
+					i, c, p.Probability, want[label])
+			}
+		}
+	}
+}
+
+// TestPredictsKeepServingDuringTraining checks the serving contract under
+// the race detector: while /v1/train runs, concurrent /v1/predict requests
+// answer from the previous model's replica pool without blocking.
+func TestPredictsKeepServingDuringTraining(t *testing.T) {
+	srv, _, client := newTestServer(t, []string{"chainy", "loopy"})
+	if err := srv.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 6; i++ {
+		chain := strings.ReplaceAll(chainProgram, "mov eax, 1", "mov eax, "+itoa(rng.Intn(50)))
+		loop := strings.ReplaceAll(loopProgram, "mov ecx, 9", "mov ecx, "+itoa(rng.Intn(50)))
+		if err := client.AddSampleASM("chainy", "", chain); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.AddSampleASM("loopy", "", loop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	initial, err := core.NewModel(testConfig(), []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.LoadModel(initial); err != nil {
+		t.Fatal(err)
+	}
+
+	trained := make(chan error, 1)
+	go func() {
+		_, err := client.Train(6, 0)
+		trained <- err
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := client.PredictASM(loopProgram); err != nil {
+					t.Errorf("predict during training: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-trained; err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	// The freshly trained model must now serve through a rebuilt pool.
+	if _, err := client.PredictASM(chainProgram); err != nil {
+		t.Fatal(err)
+	}
+}
