@@ -91,7 +91,7 @@ func extract(path, outDir string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	prog, err := asm.Parse(f)
 	if err != nil {
 		return err
@@ -108,7 +108,7 @@ func extract(path, outDir string) error {
 	if err != nil {
 		return err
 	}
-	defer out.Close()
+	defer func() { _ = out.Close() }()
 	if err := a.Write(out); err != nil {
 		return err
 	}

@@ -25,13 +25,17 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. BytesPerOp and AllocsPerOp are
+// populated only for runs made with -benchmem; lines without those
+// columns parse fine and simply leave the fields nil.
 type Result struct {
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs,omitempty"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -107,8 +111,17 @@ func parseResult(line string) (Result, bool) {
 			continue
 		}
 		unit := fields[i+1]
-		if unit == "ns/op" {
+		switch unit {
+		case "ns/op":
 			r.NsPerOp = v
+			continue
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+			continue
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
 			continue
 		}
 		if r.Metrics == nil {

@@ -44,6 +44,97 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseResultMemColumns drives parseResult over both line shapes:
+// plain `go test -bench` output and -benchmem output carrying the B/op
+// and allocs/op columns. Lines without them must parse with both fields
+// nil, never zero-filled.
+func TestParseResultMemColumns(t *testing.T) {
+	fptr := func(v float64) *float64 { return &v }
+	cases := []struct {
+		name      string
+		line      string
+		ok        bool
+		nsPerOp   float64
+		bytesPer  *float64
+		allocsPer *float64
+		metrics   map[string]float64
+	}{
+		{
+			name:    "no benchmem columns",
+			line:    "BenchmarkExtract-8	     100	  10456789 ns/op",
+			ok:      true,
+			nsPerOp: 10456789,
+		},
+		{
+			name:      "benchmem columns present",
+			line:      "BenchmarkExtract-8	     100	  10456789 ns/op	  524288 B/op	     120 allocs/op",
+			ok:        true,
+			nsPerOp:   10456789,
+			bytesPer:  fptr(524288),
+			allocsPer: fptr(120),
+		},
+		{
+			name:      "benchmem plus custom metric",
+			line:      "BenchmarkTrain-4	       1	 999999999 ns/op	 1048576 B/op	    2048 allocs/op	      0.9444 accuracy",
+			ok:        true,
+			nsPerOp:   999999999,
+			bytesPer:  fptr(1048576),
+			allocsPer: fptr(2048),
+			metrics:   map[string]float64{"accuracy": 0.9444},
+		},
+		{
+			name:      "zero allocations still recorded",
+			line:      "BenchmarkNoAlloc-2	 5000000	       241 ns/op	       0 B/op	       0 allocs/op",
+			ok:        true,
+			nsPerOp:   241,
+			bytesPer:  fptr(0),
+			allocsPer: fptr(0),
+		},
+		{
+			name: "truncated line rejected",
+			line: "BenchmarkBroken-8",
+			ok:   false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, ok := parseResult(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("parseResult ok = %v, want %v", ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if r.NsPerOp != tc.nsPerOp {
+				t.Errorf("NsPerOp = %v, want %v", r.NsPerOp, tc.nsPerOp)
+			}
+			checkPtr := func(label string, got, want *float64) {
+				t.Helper()
+				switch {
+				case want == nil && got != nil:
+					t.Errorf("%s = %v, want unset", label, *got)
+				case want != nil && got == nil:
+					t.Errorf("%s unset, want %v", label, *want)
+				case want != nil && *got != *want:
+					t.Errorf("%s = %v, want %v", label, *got, *want)
+				}
+			}
+			checkPtr("BytesPerOp", r.BytesPerOp, tc.bytesPer)
+			checkPtr("AllocsPerOp", r.AllocsPerOp, tc.allocsPer)
+			for unit, want := range tc.metrics {
+				if got := r.Metrics[unit]; got != want {
+					t.Errorf("Metrics[%q] = %v, want %v", unit, got, want)
+				}
+			}
+			for unit := range r.Metrics {
+				if _, ok := tc.metrics[unit]; !ok {
+					t.Errorf("unexpected metric %q (B/op or allocs/op leaked into Metrics?)", unit)
+				}
+			}
+		})
+	}
+}
+
 func TestParseNoRun(t *testing.T) {
 	report := parse(bufio.NewScanner(strings.NewReader("FAIL\nexit status 1\n")))
 	if report.Succeeded {

@@ -1,0 +1,68 @@
+// Command magic-lint runs the repository's static-analysis suite
+// (internal/lint): compiler-grade enforcement of the determinism,
+// metric-naming, error-handling, replica-aliasing and float-comparison
+// invariants that the MAGIC reproduction's tests assume.
+//
+// Usage:
+//
+//	go run ./cmd/magic-lint ./...
+//	go run ./cmd/magic-lint -json ./internal/core
+//
+// Patterns follow the go tool (dir, dir/...); with none given, ./... is
+// linted. Findings print as file:line:col: [rule] message, or as a JSON
+// report with -json. Suppress an individual finding with a justified
+// directive on or directly above the flagged line:
+//
+//	//lint:ignore <rule> <reason>
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON report")
+	rules := flag.Bool("rules", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: magic-lint [-json] [-rules] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *rules {
+		for _, a := range lint.Suite() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	res, err := lint.Load("", flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "magic-lint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(res, lint.Suite())
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "magic-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "magic-lint: %d finding(s) in %d package(s)\n", len(findings), len(res.Units))
+		}
+		os.Exit(1)
+	}
+}

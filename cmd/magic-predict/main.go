@@ -73,7 +73,7 @@ func loadSample(path string) (*acfg.ACFG, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	if strings.HasSuffix(path, ".asm") {
 		prog, err := asm.Parse(f)
 		if err != nil {

@@ -141,7 +141,7 @@ func loadCorpus(corpus string, samples int, seed int64, workers int) (*dataset.D
 		if err != nil {
 			return nil, fmt.Errorf("open corpus: %w", err)
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }()
 		return dataset.Read(f)
 	}
 }

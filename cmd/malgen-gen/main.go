@@ -60,7 +60,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	if err := d.Write(f); err != nil {
 		return err
 	}

@@ -21,8 +21,8 @@ type Strand struct {
 	Signature  int // MinHash signature size
 	MaxPerSide int // reference sketches kept per class
 
-	classes  int
-	refs     [][]signature // per class
+	classes int
+	refs    [][]signature // per class
 }
 
 type signature []uint64

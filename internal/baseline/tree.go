@@ -106,6 +106,7 @@ func (t *DecisionTree) grow(xs [][]float64, ys []int, idx []int, depth int) *tre
 
 func isPure(counts []float64, total float64) bool {
 	for _, c := range counts {
+		//lint:ignore floatcmp class counts are integer-valued (incremented by 1), so equality is exact
 		if c == total {
 			return true
 		}
@@ -141,6 +142,7 @@ func (t *DecisionTree) bestGiniSplit(xs [][]float64, ys []int, idx []int, counts
 			rightCounts[y]--
 			nLeft++
 			a, b := xs[order[k]][f], xs[order[k+1]][f]
+			//lint:ignore floatcmp duplicate detection in a sorted scan wants bit equality, not tolerance
 			if a == b {
 				continue
 			}
@@ -284,6 +286,7 @@ func bestVarianceSplit(xs [][]float64, targets []float64, idx []int) (int, float
 			leftSq += y * y
 			nLeft++
 			a, b := xs[order[k]][f], xs[order[k+1]][f]
+			//lint:ignore floatcmp duplicate detection in a sorted scan wants bit equality, not tolerance
 			if a == b {
 				continue
 			}

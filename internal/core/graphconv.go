@@ -55,8 +55,8 @@ func (s *GraphConvStack) Forward(prop *graph.Propagator, x *tensor.Matrix) *tens
 	z := x
 	for t, w := range s.Weights {
 		s.inputs[t] = z
-		f := tensor.MatMul(z, w.Value)  // Z_t · W_t
-		o := prop.Apply(f)              // D̄⁻¹ Ā · (Z_t W_t)
+		f := tensor.MatMul(z, w.Value) // Z_t · W_t
+		o := prop.Apply(f)             // D̄⁻¹ Ā · (Z_t W_t)
 		s.pre[t] = o
 		z = o.Map(relu)
 		s.outs[t] = z

@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/acfg"
 	"repro/internal/graph"
@@ -130,12 +129,11 @@ func shardRanges(n, shards int) [][2]int {
 // discarded, and the first failing shard's error (lowest shard index) is
 // returned.
 func (e *ParallelBatch) TrainBatch(tasks []sampleTask, results []sampleResult) error {
-	start := time.Now()
+	wall := obs.StartTimer()
 	shards := shardRanges(len(tasks), maxGradShards)
-	var busy atomic.Int64
+	var busy obs.BusyMeter
 	err := e.runShards(len(shards), func(w, si int) error {
-		t0 := time.Now()
-		defer func() { busy.Add(int64(time.Since(t0))) }()
+		defer busy.Track()()
 		return e.runTrainShard(e.replicas[w], si, shards[si], tasks, results)
 	})
 	if err != nil {
@@ -143,7 +141,7 @@ func (e *ParallelBatch) TrainBatch(tasks []sampleTask, results []sampleResult) e
 	}
 	reduceShards(e.main.params, e.shardGrads, len(shards))
 	obs.ObserveParallelBatch(obs.PhaseTrain, e.workers, len(tasks),
-		time.Since(start), time.Duration(busy.Load()))
+		wall.Elapsed(), busy.Total())
 	return nil
 }
 
@@ -182,12 +180,11 @@ func (e *ParallelBatch) runTrainShard(rep *Model, si int, r [2]int, tasks []samp
 // off, no gradients) into results, which must have len(tasks) slots. The
 // per-sample numbers are identical to a serial EvaluateLoss sweep.
 func (e *ParallelBatch) EvalBatch(tasks []sampleTask, results []sampleResult) error {
-	start := time.Now()
+	wall := obs.StartTimer()
 	chunks := shardRanges(len(tasks), (len(tasks)+evalChunk-1)/evalChunk)
-	var busy atomic.Int64
+	var busy obs.BusyMeter
 	err := e.runShards(len(chunks), func(w, si int) (err error) {
-		t0 := time.Now()
-		defer func() { busy.Add(int64(time.Since(t0))) }()
+		defer busy.Track()()
 		defer func() {
 			if p := recover(); p != nil {
 				err = fmt.Errorf("core: parallel eval chunk %d: %v", si, p)
@@ -205,18 +202,17 @@ func (e *ParallelBatch) EvalBatch(tasks []sampleTask, results []sampleResult) er
 		return err
 	}
 	obs.ObserveParallelBatch(obs.PhaseValidate, e.workers, len(tasks),
-		time.Since(start), time.Duration(busy.Load()))
+		wall.Elapsed(), busy.Total())
 	return nil
 }
 
 // predictAll fills out[i] with the class-probability vector of tasks[i].
 func (e *ParallelBatch) predictAll(tasks []sampleTask, out [][]float64) error {
-	start := time.Now()
+	wall := obs.StartTimer()
 	chunks := shardRanges(len(tasks), (len(tasks)+evalChunk-1)/evalChunk)
-	var busy atomic.Int64
+	var busy obs.BusyMeter
 	err := e.runShards(len(chunks), func(w, si int) (err error) {
-		t0 := time.Now()
-		defer func() { busy.Add(int64(time.Since(t0))) }()
+		defer busy.Track()()
 		defer func() {
 			if p := recover(); p != nil {
 				err = fmt.Errorf("core: parallel predict chunk %d: %v", si, p)
@@ -232,7 +228,7 @@ func (e *ParallelBatch) predictAll(tasks []sampleTask, out [][]float64) error {
 		return err
 	}
 	obs.ObserveParallelBatch(obs.PhasePredict, e.workers, len(tasks),
-		time.Since(start), time.Duration(busy.Load()))
+		wall.Elapsed(), busy.Total())
 	return nil
 }
 

@@ -37,7 +37,7 @@ func (m *Model) SaveFile(path string) error {
 	if err != nil {
 		return fmt.Errorf("core: save model: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	if err := m.Save(f); err != nil {
 		return err
 	}
@@ -76,6 +76,6 @@ func LoadFile(path string) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: load model: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }()
 	return Load(f)
 }

@@ -43,6 +43,7 @@ func (s *SortPool) Forward(z *tensor.Matrix) *tensor.Matrix {
 	sort.SliceStable(idx, func(a, b int) bool {
 		ra, rb := z.Row(idx[a]), z.Row(idx[b])
 		for c := d - 1; c >= 0; c-- {
+			//lint:ignore floatcmp the comparator must order on exact bits; a tolerance would make sort order input-dependent
 			if ra[c] != rb[c] {
 				return ra[c] > rb[c]
 			}

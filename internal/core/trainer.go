@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/graph"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -160,7 +161,7 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 	results := make([]sampleResult, cfg.BatchSize)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		epochStart := time.Now()
+		epochTimer := obs.StartTimer()
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		trainLoss := 0.0
 		trainHits := 0
@@ -247,7 +248,7 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 				ValLoss:      valLoss,
 				ValAcc:       valAcc,
 				LearningRate: opt.LR(),
-				Duration:     time.Since(epochStart),
+				Duration:     epochTimer.Elapsed(),
 				BestEpoch:    hist.BestEpoch,
 				Improved:     improved,
 			})

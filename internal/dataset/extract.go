@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/acfg"
 	"repro/internal/asm"
@@ -30,7 +29,7 @@ type Source struct {
 // error of the lowest-indexed failing source is returned. workers < 2 runs
 // sequentially.
 func ExtractACFGs(sources []Source, workers int) ([]*Sample, error) {
-	start := time.Now()
+	wall := obs.StartTimer()
 	if workers < 1 {
 		workers = 1
 	}
@@ -53,13 +52,13 @@ func ExtractACFGs(sources []Source, workers int) ([]*Sample, error) {
 		}
 	}
 
-	var busy atomic.Int64
+	var busy obs.BusyMeter
 	if workers <= 1 {
-		t0 := time.Now()
+		done := busy.Track()
 		for i := range sources {
 			extractOne(i)
 		}
-		busy.Add(int64(time.Since(t0)))
+		done()
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -67,8 +66,7 @@ func ExtractACFGs(sources []Source, workers int) ([]*Sample, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				t0 := time.Now()
-				defer func() { busy.Add(int64(time.Since(t0))) }()
+				defer busy.Track()()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(sources) {
@@ -86,6 +84,6 @@ func ExtractACFGs(sources []Source, workers int) ([]*Sample, error) {
 		}
 	}
 	obs.ObserveParallelBatch(obs.PhaseExtract, workers, len(sources),
-		time.Since(start), time.Duration(busy.Load()))
+		wall.Elapsed(), busy.Total())
 	return samples, nil
 }

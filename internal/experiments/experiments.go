@@ -269,11 +269,11 @@ func FormatTable4(rows []Table4Row) string {
 
 // Fig11Row is one family's F1 comparison between MAGIC and ESVC.
 type Fig11Row struct {
-	Family      string
-	MagicF1     float64
-	ESVCF1      float64
-	AbsImprove  float64
-	RelImprove  float64
+	Family     string
+	MagicF1    float64
+	ESVCF1     float64
+	AbsImprove float64
+	RelImprove float64
 }
 
 // Figure11 cross-validates MAGIC and the ESVC chained-SVM ensemble on the

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// NewFloatCmp builds the "floatcmp" analyzer: == and != between
+// floating-point operands are forbidden in non-test code, because after
+// any arithmetic the comparison encodes an accident of rounding. Compare
+// against a tolerance instead (or restructure so the decision is made on
+// integers).
+//
+// Two well-defined idioms are allowed:
+//
+//   - comparison against exact zero (`x == 0`), the standard guard before
+//     a division — exact zero is a precise float value, not a rounding
+//     artifact;
+//   - self-comparison (`x != x`), the portable NaN test.
+func NewFloatCmp() *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "no ==/!= on floating-point values outside zero guards and NaN self-compares",
+		Run:  runFloatCmp,
+	}
+}
+
+func runFloatCmp(u *Unit, rep *Reporter) {
+	for _, file := range u.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(u.Info.TypeOf(be.X)) && !isFloat(u.Info.TypeOf(be.Y)) {
+				return true
+			}
+			if isExactZero(u.Info, be.X) || isExactZero(u.Info, be.Y) {
+				return true
+			}
+			if sameObject(u.Info, be.X, be.Y) {
+				return true // x != x: the NaN idiom
+			}
+			rep.Report("floatcmp", be.OpPos,
+				"%s on floating-point values compares rounding artifacts; use a tolerance (math.Abs(a-b) <= eps) or an integer representation",
+				be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether e is a compile-time constant equal to zero.
+func isExactZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// sameObject reports whether both sides are uses of the same variable.
+func sameObject(info *types.Info, x, y ast.Expr) bool {
+	xi, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	yi, ok := ast.Unparen(y).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ox, oy := info.Uses[xi], info.Uses[yi]
+	return ox != nil && ox == oy
+}

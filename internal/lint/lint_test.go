@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadTestdata loads every golden package under testdata/src in one shot.
+func loadTestdata(t *testing.T) *Result {
+	t.Helper()
+	res, err := Load(".", "./testdata/src/...")
+	if err != nil {
+		t.Fatalf("Load testdata: %v", err)
+	}
+	if len(res.Units) == 0 {
+		t.Fatal("Load testdata: no packages found")
+	}
+	return res
+}
+
+// goldenPkg extracts the golden package name from a finding's file path
+// (internal/lint/testdata/src/<pkg>/<file>.go).
+func goldenPkg(t *testing.T, file string) string {
+	t.Helper()
+	parts := strings.Split(file, "/")
+	for i, p := range parts {
+		if p == "src" && i+1 < len(parts) {
+			return parts[i+1]
+		}
+	}
+	t.Fatalf("finding outside testdata/src: %s", file)
+	return ""
+}
+
+// TestGoldenPackages pins down, per golden package, exactly which rules
+// fire and how often — at least one flagged and one clean case per rule,
+// plus the suppression pair.
+func TestGoldenPackages(t *testing.T) {
+	res := loadTestdata(t)
+	findings := Run(res, Suite())
+
+	got := map[string]map[string]int{}
+	for _, u := range res.Units {
+		got[filepath.Base(u.Dir)] = map[string]int{}
+	}
+	for _, f := range findings {
+		pkg := goldenPkg(t, f.File)
+		got[pkg][f.Rule]++
+	}
+
+	want := map[string]map[string]int{
+		"determinism_bad": {"determinism": 4},
+		"determinism_ok":  {},
+		"metricnames_bad": {"metricnames": 5},
+		"metricnames_ok":  {},
+		"errcheck_bad":    {"errcheck": 2},
+		"errcheck_ok":     {},
+		"replicacopy_bad": {"replicacopy": 4},
+		"replicacopy_ok":  {},
+		"floatcmp_bad":    {"floatcmp": 2},
+		"floatcmp_ok":     {},
+		"suppressed":      {},
+		"suppressbad":     {"suppression": 1, "floatcmp": 1},
+	}
+	for pkg, wantRules := range want {
+		gotRules, ok := got[pkg]
+		if !ok {
+			t.Errorf("golden package %s was not loaded", pkg)
+			continue
+		}
+		if !reflect.DeepEqual(gotRules, wantRules) && !(len(gotRules) == 0 && len(wantRules) == 0) {
+			t.Errorf("%s: findings per rule = %v, want %v", pkg, gotRules, wantRules)
+		}
+	}
+	for pkg := range got {
+		if _, ok := want[pkg]; !ok {
+			t.Errorf("unexpected golden package %s (update the want table)", pkg)
+		}
+	}
+}
+
+// TestFindingsAreSorted asserts the runner's deterministic output order.
+func TestFindingsAreSorted(t *testing.T) {
+	res := loadTestdata(t)
+	findings := Run(res, Suite())
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("findings out of order: %v before %v", a, b)
+		}
+	}
+}
+
+// TestJSONReportShape locks the -json document shape: a findings array of
+// {rule,file,line,col,message} plus a count.
+func TestJSONReportShape(t *testing.T) {
+	var buf bytes.Buffer
+	findings := []Finding{{Rule: "floatcmp", File: "x/y.go", Line: 3, Col: 9, Message: "m"}}
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Findings []map[string]any `json:"findings"`
+		Count    *int             `json:"count"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Count == nil || *doc.Count != 1 || len(doc.Findings) != 1 {
+		t.Fatalf("want count=1 and one finding, got %s", buf.String())
+	}
+	for _, key := range []string{"rule", "file", "line", "col", "message"} {
+		if _, ok := doc.Findings[0][key]; !ok {
+			t.Errorf("finding object missing %q key: %s", key, buf.String())
+		}
+	}
+
+	// The empty report must still carry an array, not null.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("empty report should render findings as []: %s", buf.String())
+	}
+}
+
+// moduleRoot locates the repository root for tests that run the driver.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := findModule(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestRepositoryLintClean is the self-clean meta-test: the tree must lint
+// clean, and the only suppressions present must be the documented ones
+// (DESIGN.md, "Enforced invariants").
+func TestRepositoryLintClean(t *testing.T) {
+	root := moduleRoot(t)
+	res, err := Load(root)
+	if err != nil {
+		t.Fatalf("Load %s/...: %v", root, err)
+	}
+	findings := Run(res, Suite())
+	for _, f := range findings {
+		t.Errorf("repository not lint-clean: %v", f)
+	}
+
+	documented := map[string]int{
+		"internal/baseline/tree.go": 3, // integer-valued count purity + two sorted-scan duplicate skips
+		"internal/core/sortpool.go": 1, // bit-exact sort comparator
+		"internal/obs/registry.go":  1, // bit-identical histogram bucket re-registration
+	}
+	gotSup := map[string]int{}
+	for _, u := range res.Units {
+		for _, file := range u.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if strings.HasPrefix(strings.TrimSpace(c.Text), "//lint:ignore") {
+						p := res.Fset.Position(c.Pos())
+						rel, _ := filepath.Rel(root, p.Filename)
+						gotSup[filepath.ToSlash(rel)]++
+					}
+				}
+			}
+		}
+	}
+	if !reflect.DeepEqual(gotSup, documented) {
+		t.Errorf("suppressions in tree = %v, want exactly the documented set %v", gotSup, documented)
+	}
+}
+
+// TestDriverExitCodes builds cmd/magic-lint once and checks the contract
+// the CI gate relies on: exit 1 (with findings) on every flagged golden
+// package, exit 0 on the clean ones, and a parseable -json report.
+func TestDriverExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the driver binary")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "magic-lint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/magic-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/magic-lint: %v\n%s", err, out)
+	}
+
+	run := func(args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = root
+		var buf bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &buf, &buf
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		return buf.String(), code
+	}
+
+	for _, pkg := range []string{"determinism", "metricnames", "errcheck", "replicacopy", "floatcmp"} {
+		bad := "./internal/lint/testdata/src/" + pkg + "_bad"
+		out, code := run(bad)
+		if code != 1 {
+			t.Errorf("%s: exit = %d, want 1\n%s", bad, code, out)
+		}
+		if !strings.Contains(out, "["+pkg+"]") {
+			t.Errorf("%s: output does not mention rule %q:\n%s", bad, pkg, out)
+		}
+		ok := "./internal/lint/testdata/src/" + pkg + "_ok"
+		if out, code := run(ok); code != 0 {
+			t.Errorf("%s: exit = %d, want 0\n%s", ok, code, out)
+		}
+	}
+
+	out, code := run("-json", "./internal/lint/testdata/src/floatcmp_bad")
+	if code != 1 {
+		t.Errorf("-json on flagged package: exit = %d, want 1", code)
+	}
+	var doc Report
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not a Report: %v\n%s", err, out)
+	}
+	if doc.Count != 2 || len(doc.Findings) != 2 {
+		t.Errorf("-json count = %d (%d findings), want 2", doc.Count, len(doc.Findings))
+	}
+	for _, f := range doc.Findings {
+		if f.Rule != "floatcmp" || !strings.HasPrefix(f.File, "internal/lint/testdata/") {
+			t.Errorf("unexpected JSON finding: %+v", f)
+		}
+	}
+}
+
+// TestLoadRejectsOutsideModule pins the loader's module boundary.
+func TestLoadRejectsOutsideModule(t *testing.T) {
+	if _, err := Load(".", "/"); err == nil {
+		t.Fatal("Load with a pattern outside the module should fail")
+	}
+}
+
+// TestSuppressionAdjacency verifies a directive covers its own line and
+// the next line, but nothing further.
+func TestSuppressionAdjacency(t *testing.T) {
+	sup := suppressions{"f.go": {10: {"floatcmp": true}}}
+	cases := []struct {
+		line int
+		want bool
+	}{{10, true}, {11, true}, {9, false}, {12, false}}
+	for _, c := range cases {
+		f := Finding{Rule: "floatcmp", File: "f.go", Line: c.line}
+		if got := sup.covers(f); got != c.want {
+			t.Errorf("line %d: covered = %v, want %v", c.line, got, c.want)
+		}
+	}
+	other := Finding{Rule: "errcheck", File: "f.go", Line: 10}
+	if sup.covers(other) {
+		t.Error("directive for floatcmp should not cover errcheck")
+	}
+}
+
+func ExampleWriteJSON() {
+	_ = WriteJSON(os.Stdout, []Finding{})
+	// Output:
+	// {
+	//   "findings": [],
+	//   "count": 0
+	// }
+}
+
+var _ = fmt.Sprintf // keep fmt imported for future debug use

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// maxLabelKeys bounds a metric's label-key set. Labels multiply time
+// series; anything past a handful is a cardinality bug, not telemetry.
+const maxLabelKeys = 4
+
+// metricNameRe is the repo's metric-name discipline: the magic_ namespace
+// in lowercase snake case.
+var metricNameRe = regexp.MustCompile(`^magic_[a-z0-9_]+$`)
+
+// labelKeyRe is the allowed label-key shape.
+var labelKeyRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// registrars maps each obs.Registry registration method to the index of
+// its first label-key argument.
+var registrars = map[string]int{
+	"Counter":      2,
+	"CounterVec":   2,
+	"Gauge":        2,
+	"GaugeVec":     2,
+	"Histogram":    3,
+	"HistogramVec": 3,
+}
+
+// NewMetricNames builds the "metricnames" analyzer. Every registration
+// against the obs registry must pass a compile-time-constant metric name
+// in the magic_* namespace, constant lowercase label keys (at most
+// maxLabelKeys of them), and each name may be registered from exactly one
+// call site in the module — the registry's idempotent get-or-create is a
+// concurrency convenience, not license to scatter definitions. The obs
+// package's own Registry methods (which forward caller-supplied names) are
+// exempt.
+func NewMetricNames() *Analyzer {
+	sites := map[string][]token.Pos{}
+	a := &Analyzer{
+		Name: "metricnames",
+		Doc:  "obs metrics: constant magic_* names, bounded constant label keys, one registration site per name",
+	}
+	a.Run = func(u *Unit, rep *Reporter) { runMetricNames(u, rep, sites) }
+	a.Finish = func(rep *Reporter) {
+		names := make([]string, 0, len(sites))
+		for n, ps := range sites {
+			if len(ps) > 1 {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ps := sites[n]
+			sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+			for _, p := range ps[1:] {
+				rep.Report("metricnames", p,
+					"metric %q is registered at more than one call site; register once and share the handle", n)
+			}
+		}
+	}
+	return a
+}
+
+func runMetricNames(u *Unit, rep *Reporter, sites map[string][]token.Pos) {
+	for _, file := range u.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && isRegistryMethod(u, fd) {
+				return false // the registry's own forwarding methods
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			labelStart, ok := registrars[sel.Sel.Name]
+			if !ok || !isRegistryType(u.Info.TypeOf(sel.X)) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true // malformed; the type checker already complained
+			}
+
+			name, isConst := constString(u.Info, call.Args[0])
+			switch {
+			case !isConst:
+				rep.Report("metricnames", call.Args[0].Pos(),
+					"metric name must be a compile-time constant string so the name set is auditable")
+			case !metricNameRe.MatchString(name):
+				rep.Report("metricnames", call.Args[0].Pos(),
+					"metric name %q must match %s", name, metricNameRe)
+			default:
+				sites[name] = append(sites[name], call.Args[0].Pos())
+			}
+
+			if len(call.Args) > labelStart && call.Ellipsis != token.NoPos {
+				rep.Report("metricnames", call.Args[labelStart].Pos(),
+					"label keys must be written out literally, not spread from a slice")
+				return true
+			}
+			labels := call.Args[min(labelStart, len(call.Args)):]
+			if len(labels) > maxLabelKeys {
+				rep.Report("metricnames", labels[maxLabelKeys].Pos(),
+					"metric has %d label keys; more than %d multiplies series cardinality past what exposition can afford",
+					len(labels), maxLabelKeys)
+			}
+			for _, l := range labels {
+				key, isConst := constString(u.Info, l)
+				if !isConst {
+					rep.Report("metricnames", l.Pos(), "label key must be a compile-time constant string")
+					continue
+				}
+				if !labelKeyRe.MatchString(key) {
+					rep.Report("metricnames", l.Pos(), "label key %q must match %s", key, labelKeyRe)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isRegistryType reports whether t is obs.Registry or *obs.Registry.
+func isRegistryType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// isRegistryMethod reports whether fd is a method declared on the obs
+// Registry type itself.
+func isRegistryMethod(u *Unit, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	return isRegistryType(u.Info.TypeOf(fd.Recv.List[0].Type))
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

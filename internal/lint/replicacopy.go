@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewReplicaCopy builds the "replicacopy" analyzer. It protects the
+// Model.Replicate aliasing contract — replicas share weight tensors but
+// own private gradient and activation buffers — by flagging value copies
+// of struct types that must only travel by pointer:
+//
+//   - structs that (transitively, through value fields and arrays) embed a
+//     sync or sync/atomic primitive, where a copy silently forks the lock
+//     or counter state (the vet copylocks hazard);
+//   - the repo's buffer-holder types (core.Model, nn.Param, nn.Volume,
+//     tensor.Matrix), where a struct copy duplicates slice headers and
+//     pointers so two "independent" values secretly alias one gradient or
+//     activation buffer.
+//
+// Copies are flagged at assignments, value arguments, and range clauses.
+// Fresh values (composite literals, function results) are not copies of
+// existing state and pass.
+func NewReplicaCopy() *Analyzer {
+	return &Analyzer{
+		Name: "replicacopy",
+		Doc:  "no value copies of sync-bearing or gradient/activation-buffer structs",
+		Run:  runReplicaCopy,
+	}
+}
+
+// syncTypes are the primitives whose state must never be forked by a copy.
+var syncTypes = map[string]bool{
+	"sync.Mutex":     true,
+	"sync.RWMutex":   true,
+	"sync.WaitGroup": true,
+	"sync.Once":      true,
+	"sync.Cond":      true,
+	"sync.Pool":      true,
+	"sync.Map":       true,
+}
+
+// bufferHolders are the repo types whose struct copies alias gradient or
+// activation buffers.
+var bufferHolders = map[string]bool{
+	"internal/core.Model":    true,
+	"internal/nn.Param":      true,
+	"internal/nn.Volume":     true,
+	"internal/tensor.Matrix": true,
+}
+
+func runReplicaCopy(u *Unit, rep *Reporter) {
+	c := &copyChecker{u: u, rep: rep, memo: map[types.Type]int{}}
+	for _, file := range u.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for _, rhs := range s.Rhs {
+						c.checkExpr(rhs, "assignment")
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range s.Values {
+					c.checkExpr(v, "assignment")
+				}
+			case *ast.CallExpr:
+				if isBuiltinCall(u.Info, s) {
+					return true
+				}
+				for _, arg := range s.Args {
+					c.checkExpr(arg, "argument")
+				}
+			case *ast.RangeStmt:
+				if s.Value != nil {
+					if t := u.Info.TypeOf(s.Value); t != nil {
+						if why := c.noCopy(t); why != "" {
+							c.rep.Report("replicacopy", s.Value.Pos(),
+								"range clause copies a value of %s (%s); iterate by index or over pointers",
+								t, why)
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range s.Results {
+					c.checkExpr(r, "return")
+				}
+			}
+			return true
+		})
+	}
+}
+
+type copyChecker struct {
+	u    *Unit
+	rep  *Reporter
+	memo map[types.Type]int // 0 unseen/in-progress, 1 clean, 2 no-copy
+}
+
+// checkExpr flags e when it denotes an existing value (not a fresh
+// literal or call result) of a no-copy type used by value.
+func (c *copyChecker) checkExpr(e ast.Expr, site string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return // fresh value or not a copy of existing state
+	}
+	t := c.u.Info.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if why := c.noCopy(t); why != "" {
+		c.rep.Report("replicacopy", e.Pos(),
+			"%s copies a value of %s (%s); pass a pointer instead", site, t, why)
+	}
+}
+
+// noCopy explains why t must not be copied by value, or returns "".
+func (c *copyChecker) noCopy(t types.Type) string {
+	if n := namedOf(t); n != nil {
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return "" // pointers to no-copy types are exactly the sanctioned form
+		}
+		id := typeID(n)
+		if syncTypes[id] || strings.HasPrefix(id, "sync/atomic.") {
+			return id + " state would be forked by the copy"
+		}
+		for holder := range bufferHolders {
+			if strings.HasSuffix(id, holder) {
+				return id + " holds gradient/activation buffers that the copy would alias"
+			}
+		}
+	}
+	switch v := c.memo[t]; v {
+	case 1:
+		return ""
+	case 2:
+		// recompute the reason cheaply below
+	}
+	c.memo[t] = 1 // break cycles optimistically
+	why := ""
+	switch ut := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < ut.NumFields() && why == ""; i++ {
+			if w := c.noCopy(ut.Field(i).Type()); w != "" {
+				why = "field " + ut.Field(i).Name() + ": " + w
+			}
+		}
+	case *types.Array:
+		if w := c.noCopy(ut.Elem()); w != "" {
+			why = "array element: " + w
+		}
+	}
+	if why != "" {
+		c.memo[t] = 2
+	}
+	return why
+}
+
+// isBuiltinCall reports whether the call's callee is a builtin (append,
+// copy, delete, …), whose "arguments" are not function-call copies in the
+// usual sense.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

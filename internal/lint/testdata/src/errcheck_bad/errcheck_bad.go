@@ -1,0 +1,16 @@
+// Package errcheck_bad is a magic-lint golden case for the errcheck
+// rule. Expected findings: 2.
+package errcheck_bad
+
+import "os"
+
+// WriteStamp drops both the WriteString error and the deferred Close
+// error on the floor.
+func WriteStamp(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()        // deferred discard
+	f.WriteString("stamp") // statement discard
+}

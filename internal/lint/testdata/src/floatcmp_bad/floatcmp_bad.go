@@ -1,0 +1,13 @@
+// Package floatcmp_bad is a magic-lint golden case for the floatcmp
+// rule. Expected findings: 2.
+package floatcmp_bad
+
+// Converged compares two computed floats for exact equality.
+func Converged(prev, cur float64) bool {
+	return prev == cur
+}
+
+// IsUnit compares against a non-zero literal.
+func IsUnit(x float64) bool {
+	return x == 1.0
+}

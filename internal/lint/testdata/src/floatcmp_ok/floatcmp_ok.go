@@ -1,0 +1,23 @@
+// Package floatcmp_ok is a magic-lint golden case: the allowed float
+// comparison idioms. Expected findings: 0.
+package floatcmp_ok
+
+import "math"
+
+// SafeDiv guards a division with the exact-zero check.
+func SafeDiv(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// IsNaN uses the self-comparison NaN idiom.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Converged compares under a tolerance.
+func Converged(prev, cur, eps float64) bool {
+	return math.Abs(prev-cur) <= eps
+}

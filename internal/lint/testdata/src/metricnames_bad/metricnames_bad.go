@@ -1,0 +1,19 @@
+// Package metricnames_bad is a magic-lint golden case for the
+// metricnames rule. Expected findings: 5.
+package metricnames_bad
+
+import "repro/internal/obs"
+
+// dynamicName is a variable, not a constant, so the registration below is
+// not statically auditable.
+var dynamicName = "magic_lintdemo_dynamic_total"
+
+var (
+	dynamic = obs.Default().Counter(dynamicName, "non-constant name")       // non-const name
+	wrong   = obs.Default().Counter("http_requests_total", "bad namespace") // outside magic_*
+	dupA    = obs.Default().Counter("magic_lintdemo_dup_total", "first registration")
+	dupB    = obs.Default().Counter("magic_lintdemo_dup_total", "second registration") // duplicate site
+	wide    = obs.Default().CounterVec("magic_lintdemo_wide_total", "too many labels",
+		"a", "b", "c", "d", "e") // 5 label keys > 4
+	badKey = obs.Default().GaugeVec("magic_lintdemo_badkey", "bad label charset", "Status") // uppercase key
+)

@@ -1,0 +1,16 @@
+// Package metricnames_ok is a magic-lint golden case: disciplined obs
+// registrations. Expected findings: 0.
+package metricnames_ok
+
+import "repro/internal/obs"
+
+// queueDepthName shows that named constants are as auditable as literals.
+const queueDepthName = "magic_lintdemo_queue_depth"
+
+var (
+	queueDepth = obs.Default().Gauge(queueDepthName, "Depth of the demo queue.")
+	requests   = obs.Default().CounterVec("magic_lintdemo_requests_total",
+		"Demo requests.", "route", "code")
+	latency = obs.Default().HistogramVec("magic_lintdemo_latency_seconds",
+		"Demo latency.", obs.DefBuckets, "route")
+)

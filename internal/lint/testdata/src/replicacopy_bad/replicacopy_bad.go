@@ -1,0 +1,36 @@
+// Package replicacopy_bad is a magic-lint golden case for the
+// replicacopy rule. Expected findings: 4.
+package replicacopy_bad
+
+import "sync"
+
+// counters carries a mutex, so a value copy forks the lock state.
+type counters struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot copies the guarded struct while holding its own lock: the
+// copy's mutex starts out locked and its fields drift from the original.
+func Snapshot(c *counters) counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := *c  // dereference copy
+	return cp // return copy
+}
+
+// Total copies every element out of the slice as it ranges.
+func Total(cs []counters) int {
+	total := 0
+	for _, c := range cs { // range-clause copy
+		total += c.n
+	}
+	return total
+}
+
+func read(c counters) int { return c.n }
+
+// Read passes the struct to read by value.
+func Read(c *counters) int {
+	return read(*c) // argument copy
+}

@@ -1,0 +1,26 @@
+// Package replicacopy_ok is a magic-lint golden case: sync-bearing
+// structs travel only by pointer. Expected findings: 0.
+package replicacopy_ok
+
+import "sync"
+
+type counters struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump mutates through the pointer, under the lock.
+func Bump(c *counters) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Total iterates pointers, never copying the structs.
+func Total(cs []*counters) int {
+	total := 0
+	for _, c := range cs {
+		total += c.n
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Package suppressbad is a magic-lint golden case: a malformed
+// suppression (missing reason) that therefore suppresses nothing.
+// Expected findings: 2 — the malformed directive and the violation it
+// failed to cover.
+package suppressbad
+
+// Same compares floats under a directive with no justification.
+func Same(x, y float64) bool {
+	//lint:ignore floatcmp
+	return x == y
+}

@@ -1,0 +1,11 @@
+// Package suppressed is a magic-lint golden case: a real violation
+// covered by a well-formed, justified //lint:ignore directive. Expected
+// findings: 0.
+package suppressed
+
+// RoundTripped reports whether x survived an encode/decode cycle
+// bit-identically.
+func RoundTripped(x, y float64) bool {
+	//lint:ignore floatcmp round-trip identity is exact by design; any drift is the bug being detected
+	return x == y
+}

@@ -103,12 +103,12 @@ func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
 // rectangular) kernels, stride and zero padding, used by the
 // AdaptiveMaxPooling head's VGG-style classifier (Section III-C).
 type Conv2D struct {
-	InC, OutC          int
-	KH, KW             int
-	Stride             int
-	Pad                int
-	W                  *Param // OutC × (InC*KH*KW)
-	B                  *Param // 1 × OutC
+	InC, OutC int
+	KH, KW    int
+	Stride    int
+	Pad       int
+	W         *Param // OutC × (InC*KH*KW)
+	B         *Param // 1 × OutC
 
 	lastIn *Volume
 }

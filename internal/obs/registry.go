@@ -216,6 +216,7 @@ func equalFloats(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
+		//lint:ignore floatcmp re-registration demands bit-identical bucket bounds, not approximately equal ones
 		if a[i] != b[i] {
 			return false
 		}

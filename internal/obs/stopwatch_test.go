@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStopwatchElapsed(t *testing.T) {
+	sw := StartTimer()
+	time.Sleep(5 * time.Millisecond)
+	got := sw.Elapsed()
+	if got < 5*time.Millisecond {
+		t.Errorf("Elapsed = %v, want >= 5ms", got)
+	}
+	if later := sw.Elapsed(); later < got {
+		t.Errorf("Elapsed went backwards: %v then %v", got, later)
+	}
+}
+
+func TestBusyMeterZeroValue(t *testing.T) {
+	var b BusyMeter
+	if b.Total() != 0 {
+		t.Errorf("zero BusyMeter Total = %v, want 0", b.Total())
+	}
+}
+
+func TestBusyMeterTrack(t *testing.T) {
+	var b BusyMeter
+	done := b.Track()
+	time.Sleep(2 * time.Millisecond)
+	done()
+	if got := b.Total(); got < 2*time.Millisecond {
+		t.Errorf("Total = %v, want >= 2ms", got)
+	}
+}
+
+// TestBusyMeterConcurrent sums overlapping spans from many goroutines:
+// with N workers each busy for d, the accumulated busy time must be at
+// least N*d even though the wall-clock window is ~d.
+func TestBusyMeterConcurrent(t *testing.T) {
+	const workers = 8
+	const span = 2 * time.Millisecond
+	var b BusyMeter
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer b.Track()()
+			time.Sleep(span)
+		}()
+	}
+	wg.Wait()
+	if got := b.Total(); got < workers*span {
+		t.Errorf("Total = %v, want >= %v (sum over workers)", got, workers*span)
+	}
+}

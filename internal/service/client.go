@@ -41,7 +41,7 @@ func (c *Client) Health() error {
 	if err != nil {
 		return fmt.Errorf("service client: health: %w", err)
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("service client: health status %d", resp.StatusCode)
 	}
@@ -120,7 +120,7 @@ func (c *Client) Stats() (map[string]int, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service client: stats: %w", err)
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	var body struct {
 		Families map[string]int `json:"families"`
 	}
@@ -139,7 +139,7 @@ func (c *Client) post(path string, body any, wantStatus int) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service client: post %s: %w", path, err)
 	}
-	defer resp.Body.Close()
+	defer func() { _ = resp.Body.Close() }()
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		return nil, fmt.Errorf("service client: read %s: %w", path, err)
