@@ -1,23 +1,32 @@
-// Command magic-predict loads a trained MAGIC model and classifies malware
-// samples — the prediction mode of Section IV-C. Inputs are either ACFG
-// JSON files produced by acfg-gen or raw .asm disassembly listings (which
-// are pushed through the CFG pipeline first).
+// Command magic-predict classifies malware samples — the prediction mode
+// of Section IV-C — either with a local model file or against a running
+// magic-server. Inputs are either ACFG JSON files produced by acfg-gen or
+// raw .asm disassembly listings (which are pushed through the CFG
+// pipeline first).
 //
 // Usage:
 //
 //	magic-predict -model magic-model.json [-families a,b,c] sample.acfg.json malware.asm ...
+//	magic-predict -server http://localhost:8080 sample.acfg.json malware.asm ...
+//
+// Server mode posts each sample to POST /v1/predict through the service
+// client (context-bounded, with retry-with-backoff on connection errors),
+// so predictions come from whatever model the service currently serves.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/acfg"
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/core"
+	"repro/internal/service"
 )
 
 func main() {
@@ -30,14 +39,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("magic-predict", flag.ContinueOnError)
 	modelPath := fs.String("model", "magic-model.json", "trained model path")
+	serverURL := fs.String("server", "", "classify against a running magic-server at this base URL instead of a local model")
 	families := fs.String("families", "", "comma-separated family names (defaults to class indices)")
 	topK := fs.Int("top", 3, "number of top families to print per sample")
+	timeout := fs.Duration("timeout", time.Minute, "per-sample request timeout in server mode")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	files := fs.Args()
 	if len(files) == 0 {
 		return fmt.Errorf("no input files (usage: magic-predict -model m.json sample.acfg.json ...)")
+	}
+	if *serverURL != "" {
+		return runServerMode(*serverURL, files, *topK, *timeout)
 	}
 
 	m, err := core.LoadFile(*modelPath)
@@ -66,6 +80,45 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runServerMode classifies every file through a running magic-server's
+// /v1/predict endpoint. ASM listings travel as text so the server runs
+// the extraction pipeline; ACFG files are posted pre-built.
+func runServerMode(baseURL string, files []string, topK int, timeout time.Duration) error {
+	client := service.NewClient(baseURL)
+	for _, file := range files {
+		res, err := predictRemote(client, file, timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "magic-predict: %s: %v\n", file, err)
+			continue
+		}
+		fmt.Printf("%s (%d blocks):\n", file, res.Blocks)
+		for rank, p := range res.Predictions {
+			if rank >= topK {
+				break
+			}
+			fmt.Printf("  %d. %-20s %6.2f%%\n", rank+1, p.Family, 100*p.Probability)
+		}
+	}
+	return nil
+}
+
+func predictRemote(client *service.Client, path string, timeout time.Duration) (*service.PredictResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if strings.HasSuffix(path, ".asm") {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return client.PredictASMContext(ctx, string(text))
+	}
+	a, err := loadSample(path)
+	if err != nil {
+		return nil, err
+	}
+	return client.PredictACFGContext(ctx, a)
 }
 
 func loadSample(path string) (*acfg.ACFG, error) {

@@ -1,34 +1,49 @@
 // Command magic-server runs MAGIC as the cloud classification service
 // envisioned in the paper's conclusion (Section VII): clients upload
-// labeled samples, trigger training, and classify unknown disassembly over
-// HTTP. See internal/service for the endpoint contract.
+// labeled samples, trigger asynchronous training jobs, and classify
+// unknown disassembly over HTTP. See internal/service for the endpoint
+// contract.
 //
 // Usage:
 //
 //	magic-server -addr :8080 -families Ramnit,Lollipop,...   # empty service
 //	magic-server -addr :8080 -model magic-model.json -families ...
 //	magic-server -demo                                       # preloaded demo
+//	magic-server -demo -state-dir ./state                    # durable demo
 //	magic-server -demo -pprof                                # + /debug/pprof
 //
 // Demo mode seeds the corpus with a small synthetic MSKCFG-style corpus and
-// trains an initial model before serving.
+// trains an initial model before serving (skipped when -state-dir already
+// holds a model checkpoint from a previous run).
 //
-// Prometheus metrics (request counters, latency histograms, training
-// telemetry, pipeline stage timers — see DESIGN.md "Observability") are
-// always served at GET /metrics. The -pprof flag additionally mounts the
-// net/http/pprof profiling endpoints under /debug/pprof/; it is opt-in
-// because profiling handlers should not be exposed on an untrusted
-// network.
+// With -state-dir the server is crash-safe: every accepted sample is
+// appended to a fsynced JSONL WAL, the model is checkpointed atomically
+// when a training job succeeds, and both are replayed on startup so a
+// restart resumes serving where the previous process stopped. On SIGINT or
+// SIGTERM the server drains in-flight requests (http.Server.Shutdown),
+// cancels any running training job cooperatively, writes a final model
+// checkpoint, and exits cleanly.
+//
+// Prometheus metrics (request counters, latency histograms, training and
+// training-job telemetry, pipeline stage timers — see DESIGN.md
+// "Observability") are always served at GET /metrics. The -pprof flag
+// additionally mounts the net/http/pprof profiling endpoints under
+// /debug/pprof/; it is opt-in because profiling handlers should not be
+// exposed on an untrusted network.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/acfg"
@@ -37,6 +52,10 @@ import (
 	"repro/internal/obs"
 	"repro/internal/service"
 )
+
+// shutdownTimeout bounds how long draining in-flight requests may take
+// once a termination signal arrives.
+const shutdownTimeout = 15 * time.Second
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -50,6 +69,7 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	familiesFlag := fs.String("families", "", "comma-separated family universe")
 	modelPath := fs.String("model", "", "preload a trained model")
+	stateDir := fs.String("state-dir", "", "durable state directory (corpus WAL + model checkpoint); empty = in-memory only")
 	demo := fs.Bool("demo", false, "seed with a synthetic corpus and train before serving")
 	demoSamples := fs.Int("demo-samples", 150, "demo corpus size")
 	epochs := fs.Int("epochs", 12, "default training epochs")
@@ -78,6 +98,20 @@ func run(args []string) error {
 		return err
 	}
 
+	haveModel := false
+	if *stateDir != "" {
+		st, err := service.OpenStore(*stateDir)
+		if err != nil {
+			return err
+		}
+		replayed, loaded, err := srv.AttachStore(st)
+		if err != nil {
+			return err
+		}
+		haveModel = loaded
+		log.Printf("state: %s replayed %d corpus samples, model checkpoint: %v", *stateDir, replayed, loaded)
+	}
+
 	if *modelPath != "" {
 		m, err := core.LoadFile(*modelPath)
 		if err != nil {
@@ -86,13 +120,16 @@ func run(args []string) error {
 		if err := srv.LoadModel(m); err != nil {
 			return err
 		}
+		haveModel = true
 		log.Printf("loaded model %s (%d parameters)", *modelPath, m.NumParameters())
 	}
 
-	if *demo {
+	if *demo && !haveModel {
 		if err := seedDemo(srv, *demoSamples, *epochs, *workers); err != nil {
 			return err
 		}
+	} else if *demo {
+		log.Printf("demo: model already present, skipping seed training")
 	}
 
 	handler := srv.Handler()
@@ -113,16 +150,55 @@ func run(args []string) error {
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
 	log.Printf("MAGIC service listening on %s (%d families), metrics at /metrics", *addr, len(families))
-	return httpSrv.ListenAndServe()
+
+	select {
+	case err := <-serveErr:
+		// The listener died on its own; still quiesce state so an
+		// attached store is closed with a final checkpoint.
+		if closeErr := srv.Close(); closeErr != nil && err == nil {
+			return closeErr
+		}
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	log.Printf("shutdown: draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	if errors.Is(shutdownErr, context.DeadlineExceeded) {
+		log.Printf("shutdown: drain timed out; closing remaining connections")
+		shutdownErr = nil
+	}
+	log.Printf("shutdown: cancelling training and writing final checkpoint")
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	log.Printf("shutdown: clean exit")
+	return nil
 }
 
-// seedDemo populates the corpus with synthetic samples and trains an
-// initial model so the service can classify immediately.
+// seedDemo populates the service corpus with synthetic samples (persisted
+// through the attached store, when any) and trains an initial model so the
+// service can classify immediately.
 func seedDemo(srv *service.Server, samples, epochs, workers int) error {
 	log.Printf("demo: generating %d synthetic samples", samples)
 	corpus, err := malgen.MSKCFG(malgen.Options{TotalSamples: samples, Seed: 1, Workers: workers})
 	if err != nil {
+		return err
+	}
+	if err := srv.ImportCorpus(corpus); err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig(corpus.NumClasses(), acfg.NumAttributes)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // savedModel is the on-disk form: the configuration (enough to rebuild the
@@ -31,17 +32,41 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile writes the model to path.
+// SaveFile writes the model to path atomically: the bytes land in a temp
+// file in the same directory which is fsynced and then renamed over path,
+// so a crash mid-write can never destroy an existing valid checkpoint.
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return atomicWriteFile(path, m.Save)
+}
+
+// atomicWriteFile writes via write() into a temporary sibling of path and
+// renames it into place only after a successful write, sync, and close.
+// On any failure the temp file is removed and path is left untouched.
+func atomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("core: save model: %w", err)
 	}
-	defer func() { _ = f.Close() }()
-	if err := m.Save(f); err != nil {
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("core: save model: sync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("core: save model: close: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("core: save model: rename: %w", err)
+	}
+	return nil
 }
 
 // Load reconstructs a model saved with Save.

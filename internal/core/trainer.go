@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -89,6 +90,11 @@ func MultiObserver(obs ...EpochObserver) EpochObserver {
 	return out
 }
 
+// ErrCancelled is returned by Train when the run was abandoned because
+// TrainOptions.Stop was signalled. Callers distinguish it from genuine
+// failures with errors.Is.
+var ErrCancelled = errors.New("core: training cancelled")
+
 // TrainOptions tunes the training loop beyond the model Config.
 type TrainOptions struct {
 	// Logf, when non-nil, receives one line per epoch.
@@ -106,6 +112,27 @@ type TrainOptions struct {
 	// batch engine decomposes batches into worker-independent shards and
 	// reduces gradients in a fixed tree order (see ParallelBatch).
 	Workers int
+	// Stop, when non-nil, requests cooperative cancellation: it is polled
+	// before every mini-batch, and once it is closed (or receives a value)
+	// Train abandons the run and returns ErrCancelled. Cancellation latency
+	// is therefore bounded by one batch. A nil channel disables the check,
+	// and an unsignalled channel never alters results — the poll reads no
+	// entropy and no clock, preserving the bit-determinism contract.
+	Stop <-chan struct{}
+}
+
+// stopRequested reports whether the cancellation channel has been
+// signalled; a nil channel never stops.
+func stopRequested(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Train fits the model on train, monitoring val (which may be nil). It fits
@@ -166,6 +193,9 @@ func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, 
 		trainLoss := 0.0
 		trainHits := 0
 		for start := 0; start < len(order); start += cfg.BatchSize {
+			if stopRequested(opts.Stop) {
+				return nil, ErrCancelled
+			}
 			end := start + cfg.BatchSize
 			if end > len(order) {
 				end = len(order)

@@ -1,0 +1,44 @@
+package obs
+
+// TrainJobMetrics publishes telemetry for the service's asynchronous
+// training jobs (POST /v1/train returns a job ID; GET/DELETE
+// /v1/train/{id} observe and cancel it). It complements TrainingMetrics,
+// which tracks the per-epoch numbers of whichever run is active: job
+// metrics count whole submissions and their outcomes, including
+// cancellations, which the run-level counters fold into "error".
+type TrainJobMetrics struct {
+	submitted *Counter
+	active    *Gauge
+	completed *CounterVec // outcome
+	duration  *Histogram
+}
+
+// NewTrainJobMetrics registers the training-job metric families on r.
+// Registration is idempotent, like all registry calls.
+func NewTrainJobMetrics(r *Registry) *TrainJobMetrics {
+	return &TrainJobMetrics{
+		submitted: r.Counter("magic_train_job_submitted_total",
+			"Training jobs accepted by POST /v1/train."),
+		active: r.Gauge("magic_train_job_active",
+			"1 while a training job is running, else 0."),
+		completed: r.CounterVec("magic_train_job_completed_total",
+			"Training jobs finished, by outcome (ok, error or cancelled).", "outcome"),
+		duration: r.Histogram("magic_train_job_duration_seconds",
+			"Wall-clock duration of finished training jobs.", DefBuckets),
+	}
+}
+
+// Started marks a job accepted and running. The service admits one job at
+// a time, so the active gauge is a 0/1 flag.
+func (t *TrainJobMetrics) Started() {
+	t.submitted.Inc()
+	t.active.Set(1)
+}
+
+// Finished marks the running job terminal with the given outcome ("ok",
+// "error" or "cancelled") and wall-clock duration in seconds.
+func (t *TrainJobMetrics) Finished(outcome string, seconds float64) {
+	t.active.Set(0)
+	t.completed.With(outcome).Inc()
+	t.duration.Observe(seconds)
+}

@@ -2,25 +2,49 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"repro/internal/acfg"
 )
 
 // Client is a typed HTTP client for the MAGIC service, used by
-// cmd/magic-server's client mode and by integration tests.
+// cmd/magic-server's client mode, cmd/magic-predict's -server mode, and
+// integration tests. Every method has a context-aware form; the plain
+// forms delegate with context.Background(). Requests that die on a
+// connection error or a 503 are retried with exponential backoff, bounded
+// by MaxRetries.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+
+	// MaxRetries caps how many times a request is retried after a
+	// connection error or a 503 response. 0 selects DefaultMaxRetries;
+	// negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry's delay; it doubles per attempt.
+	// 0 selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
 }
 
-// DefaultTimeout bounds every client request. It is generous because
-// /v1/train runs a whole training loop synchronously; callers with
-// stricter needs should pass their own client via NewClientWithHTTP.
+// DefaultTimeout bounds every individual client request. Training no
+// longer runs inside one request (POST /v1/train answers immediately with
+// a job ID), so this only needs to cover uploads and predictions; it is
+// still generous for large disassembly payloads on slow machines.
 const DefaultTimeout = 5 * time.Minute
+
+// Retry defaults: 3 retries at 100ms, 200ms, 400ms keeps transient
+// connection drops and 503s invisible to callers without stalling hard
+// failures for more than ~1s.
+const (
+	DefaultMaxRetries   = 3
+	DefaultRetryBackoff = 100 * time.Millisecond
+)
 
 // NewClient builds a client for the given base URL (e.g.
 // "http://localhost:8080") with a dedicated *http.Client bounded by
@@ -36,31 +60,39 @@ func NewClientWithHTTP(baseURL string, hc *http.Client) *Client {
 }
 
 // Health checks the liveness endpoint.
-func (c *Client) Health() error {
-	resp, err := c.HTTP.Get(c.BaseURL + "/healthz")
-	if err != nil {
-		return fmt.Errorf("service client: health: %w", err)
-	}
-	defer func() { _ = resp.Body.Close() }()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("service client: health status %d", resp.StatusCode)
-	}
-	return nil
+func (c *Client) Health() error { return c.HealthContext(context.Background()) }
+
+// HealthContext is Health bounded by ctx.
+func (c *Client) HealthContext(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/healthz", nil, http.StatusOK)
+	return err
 }
 
 // AddSampleASM uploads one labeled disassembly listing.
 func (c *Client) AddSampleASM(family, name, asmText string) error {
-	_, err := c.post("/v1/samples", sampleBody{Family: family, Name: name, ASM: asmText}, http.StatusCreated)
+	return c.AddSampleASMContext(context.Background(), family, name, asmText)
+}
+
+// AddSampleASMContext is AddSampleASM bounded by ctx.
+func (c *Client) AddSampleASMContext(ctx context.Context, family, name, asmText string) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/samples",
+		sampleBody{Family: family, Name: name, ASM: asmText}, http.StatusCreated)
 	return err
 }
 
 // AddSampleACFG uploads one labeled pre-built ACFG.
 func (c *Client) AddSampleACFG(family, name string, a *acfg.ACFG) error {
-	_, err := c.post("/v1/samples", sampleBody{Family: family, Name: name, ACFG: a}, http.StatusCreated)
+	return c.AddSampleACFGContext(context.Background(), family, name, a)
+}
+
+// AddSampleACFGContext is AddSampleACFG bounded by ctx.
+func (c *Client) AddSampleACFGContext(ctx context.Context, family, name string, a *acfg.ACFG) error {
+	_, err := c.do(ctx, http.MethodPost, "/v1/samples",
+		sampleBody{Family: family, Name: name, ACFG: a}, http.StatusCreated)
 	return err
 }
 
-// TrainResult summarizes a server-side training run.
+// TrainResult summarizes a completed server-side training run.
 type TrainResult struct {
 	Epochs     int     `json:"epochs"`
 	BestEpoch  int     `json:"bestEpoch"`
@@ -69,17 +101,108 @@ type TrainResult struct {
 	Parameters int     `json:"parameters"`
 }
 
-// Train triggers (re)training on the accumulated corpus.
-func (c *Client) Train(epochs int, valFraction float64) (*TrainResult, error) {
-	raw, err := c.post("/v1/train", trainBody{Epochs: epochs, ValFraction: valFraction}, http.StatusOK)
+// trainPollInterval paces WaitTrain's status polling.
+const trainPollInterval = 25 * time.Millisecond
+
+// StartTrain submits an asynchronous training job and returns its initial
+// status (202) without waiting for the run.
+func (c *Client) StartTrain(ctx context.Context, epochs int, valFraction float64) (*TrainJobStatus, error) {
+	raw, err := c.do(ctx, http.MethodPost, "/v1/train",
+		trainBody{Epochs: epochs, ValFraction: valFraction}, http.StatusAccepted)
 	if err != nil {
 		return nil, err
 	}
-	var res TrainResult
-	if err := json.Unmarshal(raw, &res); err != nil {
-		return nil, fmt.Errorf("service client: decode train result: %w", err)
+	return decodeJobStatus(raw)
+}
+
+// TrainStatus fetches one job's current status.
+func (c *Client) TrainStatus(ctx context.Context, id string) (*TrainJobStatus, error) {
+	raw, err := c.do(ctx, http.MethodGet, "/v1/train/"+url.PathEscape(id), nil, http.StatusOK)
+	if err != nil {
+		return nil, err
 	}
-	return &res, nil
+	return decodeJobStatus(raw)
+}
+
+// CancelTrain requests cooperative cancellation of a job. It returns the
+// job's status at the time of the request; cancellation completes
+// asynchronously (poll TrainStatus or WaitTrain for the terminal state).
+func (c *Client) CancelTrain(ctx context.Context, id string) (*TrainJobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.BaseURL+"/v1/train/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, fmt.Errorf("service client: cancel train: %w", err)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service client: cancel train: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, fmt.Errorf("service client: cancel train: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return nil, statusError("/v1/train/"+id, buf.Bytes(), resp.StatusCode)
+	}
+	return decodeJobStatus(buf.Bytes())
+}
+
+// WaitTrain polls a job until it reaches a terminal state or ctx expires.
+func (c *Client) WaitTrain(ctx context.Context, id string) (*TrainJobStatus, error) {
+	for {
+		st, err := c.TrainStatus(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(trainPollInterval):
+		}
+	}
+}
+
+// Train triggers (re)training on the accumulated corpus and blocks until
+// the run finishes: it submits an asynchronous job and polls it to a
+// terminal state, so it works for runs of any length without an HTTP
+// request outliving the client timeout.
+func (c *Client) Train(epochs int, valFraction float64) (*TrainResult, error) {
+	return c.TrainContext(context.Background(), epochs, valFraction)
+}
+
+// TrainContext is Train bounded by ctx.
+func (c *Client) TrainContext(ctx context.Context, epochs int, valFraction float64) (*TrainResult, error) {
+	job, err := c.StartTrain(ctx, epochs, valFraction)
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.WaitTrain(ctx, job.Job)
+	if err != nil {
+		return nil, err
+	}
+	switch st.Status {
+	case JobSucceeded:
+		if st.Result == nil {
+			return nil, fmt.Errorf("service client: job %s succeeded without a result", st.Job)
+		}
+		return st.Result, nil
+	case JobCancelled:
+		return nil, fmt.Errorf("service client: training job %s was cancelled", st.Job)
+	default:
+		return nil, fmt.Errorf("service client: training job %s failed: %s", st.Job, st.Error)
+	}
+}
+
+func decodeJobStatus(raw []byte) (*TrainJobStatus, error) {
+	var st TrainJobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return nil, fmt.Errorf("service client: decode train job status: %w", err)
+	}
+	return &st, nil
 }
 
 // Prediction is one ranked family.
@@ -94,16 +217,26 @@ type PredictResult struct {
 
 // PredictASM classifies a disassembly listing.
 func (c *Client) PredictASM(asmText string) (*PredictResult, error) {
-	return c.predict(sampleBody{ASM: asmText})
+	return c.PredictASMContext(context.Background(), asmText)
+}
+
+// PredictASMContext is PredictASM bounded by ctx.
+func (c *Client) PredictASMContext(ctx context.Context, asmText string) (*PredictResult, error) {
+	return c.predict(ctx, sampleBody{ASM: asmText})
 }
 
 // PredictACFG classifies a pre-built ACFG.
 func (c *Client) PredictACFG(a *acfg.ACFG) (*PredictResult, error) {
-	return c.predict(sampleBody{ACFG: a})
+	return c.PredictACFGContext(context.Background(), a)
 }
 
-func (c *Client) predict(body sampleBody) (*PredictResult, error) {
-	raw, err := c.post("/v1/predict", body, http.StatusOK)
+// PredictACFGContext is PredictACFG bounded by ctx.
+func (c *Client) PredictACFGContext(ctx context.Context, a *acfg.ACFG) (*PredictResult, error) {
+	return c.predict(ctx, sampleBody{ACFG: a})
+}
+
+func (c *Client) predict(ctx context.Context, body sampleBody) (*PredictResult, error) {
+	raw, err := c.do(ctx, http.MethodPost, "/v1/predict", body, http.StatusOK)
 	if err != nil {
 		return nil, err
 	}
@@ -116,40 +249,112 @@ func (c *Client) predict(body sampleBody) (*PredictResult, error) {
 
 // Stats fetches the per-family corpus counts.
 func (c *Client) Stats() (map[string]int, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/stats")
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats bounded by ctx.
+func (c *Client) StatsContext(ctx context.Context) (map[string]int, error) {
+	raw, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, http.StatusOK)
 	if err != nil {
-		return nil, fmt.Errorf("service client: stats: %w", err)
+		return nil, err
 	}
-	defer func() { _ = resp.Body.Close() }()
 	var body struct {
 		Families map[string]int `json:"families"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	if err := json.Unmarshal(raw, &body); err != nil {
 		return nil, fmt.Errorf("service client: decode stats: %w", err)
 	}
 	return body.Families, nil
 }
 
-func (c *Client) post(path string, body any, wantStatus int) ([]byte, error) {
-	payload, err := json.Marshal(body)
-	if err != nil {
-		return nil, fmt.Errorf("service client: encode: %w", err)
+// retryBudget resolves the configured retry knobs.
+func (c *Client) retryBudget() (retries int, backoff time.Duration) {
+	retries = c.MaxRetries
+	if retries == 0 {
+		retries = DefaultMaxRetries
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(payload))
+	if retries < 0 {
+		retries = 0
+	}
+	backoff = c.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	return retries, backoff
+}
+
+// do issues one JSON request (body nil for bodyless methods) and returns
+// the response bytes when the status matches wantStatus. Connection
+// errors and 503 responses are retried with exponential backoff up to the
+// client's retry budget; any other status short-circuits with the
+// server's error message. Context cancellation is never retried.
+func (c *Client) do(ctx context.Context, method, path string, body any, wantStatus int) ([]byte, error) {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return nil, fmt.Errorf("service client: encode: %w", err)
+		}
+	}
+	retries, backoff := c.retryBudget()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		raw, status, err := c.roundTrip(ctx, method, path, payload)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("service client: %s %s: %w", method, path, err)
+			}
+			lastErr = fmt.Errorf("service client: %s %s: %w", method, path, err)
+		case status == wantStatus:
+			return raw, nil
+		case status == http.StatusServiceUnavailable && wantStatus != http.StatusServiceUnavailable:
+			lastErr = statusError(path, raw, status)
+		default:
+			return nil, statusError(path, raw, status)
+		}
+		if attempt >= retries {
+			return nil, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("service client: %s %s: %w", method, path, ctx.Err())
+		case <-time.After(backoff << attempt):
+		}
+	}
+}
+
+// roundTrip performs one HTTP exchange and reads the full response body.
+func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte) ([]byte, int, error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
-		return nil, fmt.Errorf("service client: post %s: %w", path, err)
+		return nil, 0, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, 0, err
 	}
 	defer func() { _ = resp.Body.Close() }()
 	var buf bytes.Buffer
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
-		return nil, fmt.Errorf("service client: read %s: %w", path, err)
+		return nil, 0, err
 	}
-	if resp.StatusCode != wantStatus {
-		var e errorResponse
-		if json.Unmarshal(buf.Bytes(), &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("service client: %s: %s (status %d)", path, e.Error, resp.StatusCode)
-		}
-		return nil, fmt.Errorf("service client: %s: status %d", path, resp.StatusCode)
+	return buf.Bytes(), resp.StatusCode, nil
+}
+
+// statusError shapes an unexpected-status error, surfacing the server's
+// JSON error message when one was sent.
+func statusError(path string, raw []byte, status int) error {
+	var e errorResponse
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return fmt.Errorf("service client: %s: %s (status %d)", path, e.Error, status)
 	}
-	return buf.Bytes(), nil
+	return fmt.Errorf("service client: %s: status %d", path, status)
 }

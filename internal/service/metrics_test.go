@@ -76,7 +76,7 @@ func TestMetricsEndpointRoundTrip(t *testing.T) {
 	// Request counters, labeled by endpoint/method/code.
 	checks := map[string]float64{
 		`magic_http_requests_total{endpoint="/v1/samples",method="POST",code="201"}`: 8,
-		`magic_http_requests_total{endpoint="/v1/train",method="POST",code="200"}`:   1,
+		`magic_http_requests_total{endpoint="/v1/train",method="POST",code="202"}`:   1,
 		`magic_http_requests_total{endpoint="/v1/predict",method="POST",code="200"}`: 1,
 		// Latency histograms: one observation per request.
 		`magic_http_request_duration_seconds_count{endpoint="/v1/predict"}`: 1,
@@ -89,6 +89,11 @@ func TestMetricsEndpointRoundTrip(t *testing.T) {
 		`magic_train_runs_total{outcome="ok"}`:     1,
 		`magic_train_best_epoch`:                   float64(res.BestEpoch),
 		`magic_model_parameters`:                   float64(res.Parameters),
+		// Async-job telemetry: one submitted job, finished ok.
+		`magic_train_job_submitted_total`:               1,
+		`magic_train_job_active`:                        0,
+		`magic_train_job_completed_total{outcome="ok"}`: 1,
+		`magic_train_job_duration_seconds_count`:        1,
 		// Corpus and prediction bookkeeping.
 		`magic_corpus_samples{family="chainy"}`: 4,
 		`magic_corpus_samples{family="loopy"}`:  4,
@@ -173,10 +178,7 @@ func TestPredictDuringTrain(t *testing.T) {
 	// exercise the same code path, just without overlap).
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		srv.mu.Lock()
-		training := srv.training
-		srv.mu.Unlock()
-		if training {
+		if srv.TrainingActive() {
 			break
 		}
 		select {

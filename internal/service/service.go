@@ -4,19 +4,23 @@
 // disassembly or pre-built ACFGs for classification. The server is a plain
 // net/http application with JSON endpoints:
 //
-//	GET  /healthz      liveness probe
-//	GET  /metrics      Prometheus text-format metrics (see internal/obs)
-//	GET  /v1/model     current model metadata
-//	GET  /v1/stats     corpus statistics per family
-//	POST /v1/samples   add one labeled sample  {family, asm|acfg}
-//	POST /v1/train     (re)train on the accumulated corpus {epochs}
-//	POST /v1/predict   classify one sample     {asm|acfg} → ranked families
+//	GET    /healthz         liveness probe
+//	GET    /metrics         Prometheus text-format metrics (see internal/obs)
+//	GET    /v1/model        current model metadata
+//	GET    /v1/stats        corpus statistics per family
+//	POST   /v1/samples      add one labeled sample  {family, asm|acfg}
+//	POST   /v1/train        start an async training job {epochs} → 202 + job ID
+//	GET    /v1/train/{id}   training-job status and per-epoch progress
+//	DELETE /v1/train/{id}   cooperative job cancellation
+//	POST   /v1/predict      classify one sample     {asm|acfg} → ranked families
 //
-// All state is in memory and guarded by a single mutex; training holds the
-// write path but predictions against the previous model keep serving.
-// Predictions run concurrently on a pool of model replicas sharing the
-// installed model's weights (core.Predictor); SetParallelism sizes the pool
-// and the training worker count.
+// State is in memory, guarded by a single mutex, and optionally durable:
+// AttachStore gives the server a state directory whose corpus WAL and
+// model checkpoint are replayed on startup (see Store). Training runs as
+// an asynchronous job (one at a time) while predictions against the
+// previous model keep serving. Predictions run concurrently on a pool of
+// model replicas sharing the installed model's weights (core.Predictor);
+// SetParallelism sizes the pool and the training worker count.
 //
 // Every endpoint is instrumented through obs.HTTPMetrics (request counts,
 // in-flight gauge, latency histograms, all labeled by route), training
@@ -27,7 +31,9 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -52,8 +58,18 @@ type Server struct {
 	labelOf   map[string]int
 	corpus    *dataset.Dataset
 	model     *core.Model
-	training  bool
 	trainedAt time.Time
+
+	// Asynchronous training jobs: curJob is the single admitted run (nil
+	// when idle); jobs/jobOrder keep a bounded history for status queries.
+	curJob   *trainJob
+	jobs     map[string]*trainJob
+	jobOrder []string
+	jobSeq   int
+
+	// store, when non-nil, is the durable state directory (corpus WAL +
+	// model checkpoint). See AttachStore.
+	store *Store
 
 	// predictor serves /v1/predict from a pool of model replicas sharing
 	// the installed model's weights, so concurrent requests no longer
@@ -70,6 +86,7 @@ type Server struct {
 	registry     *obs.Registry
 	httpMetrics  *obs.HTTPMetrics
 	trainMetrics *obs.TrainingMetrics
+	jobMetrics   *obs.TrainJobMetrics
 	predictions  *obs.CounterVec // family
 	corpusSize   *obs.GaugeVec   // family
 	modelParams  *obs.Gauge
@@ -112,11 +129,13 @@ func NewWithRegistry(families []string, cfgTemplate core.Config, reg *obs.Regist
 		families:    families,
 		labelOf:     labelOf,
 		corpus:      dataset.New(families),
+		jobs:        make(map[string]*trainJob),
 		now:         time.Now,
 
 		registry:     reg,
 		httpMetrics:  obs.NewHTTPMetrics(reg),
 		trainMetrics: obs.NewTrainingMetrics(reg),
+		jobMetrics:   obs.NewTrainJobMetrics(reg),
 		predictions: reg.CounterVec("magic_predictions_total",
 			"Predictions served, by top-ranked family.", "family"),
 		corpusSize: reg.GaugeVec("magic_corpus_samples",
@@ -191,6 +210,8 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/stats", "/v1/stats", s.handleStats)
 	handle("POST /v1/samples", "/v1/samples", s.handleAddSample)
 	handle("POST /v1/train", "/v1/train", s.handleTrain)
+	handle("GET /v1/train/{id}", "/v1/train/{id}", s.handleTrainStatus)
+	handle("DELETE /v1/train/{id}", "/v1/train/{id}", s.handleTrainCancel)
 	handle("POST /v1/predict", "/v1/predict", s.handlePredict)
 	return mux
 }
@@ -236,7 +257,10 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{
 		"families": s.families,
 		"trained":  s.model != nil,
-		"training": s.training,
+		"training": s.curJob != nil,
+	}
+	if s.curJob != nil {
+		resp["trainingJob"] = s.curJob.id
 	}
 	if s.model != nil {
 		resp["parameters"] = s.model.NumParameters()
@@ -262,8 +286,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleAddSample(w http.ResponseWriter, r *http.Request) {
 	var body sampleBody
-	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &body); err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	label, ok := s.labelOf[body.Family]
@@ -282,6 +306,14 @@ func (s *Server) handleAddSample(w http.ResponseWriter, r *http.Request) {
 	if name == "" {
 		name = fmt.Sprintf("%s-%06d", body.Family, s.corpus.Len())
 	}
+	// Durability first: a sample is acknowledged only once it is in the
+	// WAL, so an acknowledged upload survives a crash.
+	if s.store != nil {
+		if err := s.store.AppendSample(body.Family, name, a); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
 	s.corpus.Add(&dataset.Sample{Name: name, Label: label, ACFG: a})
 	s.corpusSize.With(body.Family).Set(float64(s.corpus.CountByClass()[label]))
 	writeJSON(w, http.StatusCreated, map[string]any{
@@ -290,100 +322,10 @@ func (s *Server) handleAddSample(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
-	var body trainBody
-	if err := decodeBody(r, &body); err != nil && r.ContentLength > 0 {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-
-	s.mu.Lock()
-	if s.training {
-		s.mu.Unlock()
-		writeError(w, http.StatusConflict, fmt.Errorf("training already in progress"))
-		return
-	}
-	// Snapshot the corpus under the lock; train outside it so predictions
-	// against the previous model keep serving.
-	train := s.corpus.Subset(allIndices(s.corpus.Len()))
-	counts := train.CountByClass()
-	for i, n := range counts {
-		if n < 2 {
-			s.mu.Unlock()
-			writeError(w, http.StatusPreconditionFailed,
-				fmt.Errorf("family %q has %d samples; need at least 2 per family", s.families[i], n))
-			return
-		}
-	}
-	cfg := s.cfgTemplate
-	if body.Epochs > 0 {
-		cfg.Epochs = body.Epochs
-	}
-	workers := s.workersLocked()
-	s.training = true
-	s.mu.Unlock()
-
-	s.trainMetrics.RunStarted(train.Len())
-	finish := func() {
-		s.mu.Lock()
-		s.training = false
-		s.mu.Unlock()
-		s.trainMetrics.RunFinished(true)
-	}
-
-	var val *dataset.Dataset
-	fit := train
-	if body.ValFraction > 0 && body.ValFraction < 1 {
-		tr, v, err := train.TrainValSplit(body.ValFraction, cfg.Seed)
-		if err != nil {
-			finish()
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		fit, val = tr, v
-	}
-	m, err := core.NewModel(cfg, fit.Sizes())
-	if err != nil {
-		finish()
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	hist, err := core.Train(m, fit, val, core.TrainOptions{
-		Workers: workers,
-		Observer: core.EpochObserverFunc(func(e core.EpochStats) {
-			s.trainMetrics.ObserveEpoch(epochUpdate(e))
-		}),
-	})
-	if err != nil {
-		finish()
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-
-	s.mu.Lock()
-	installErr := s.installModelLocked(m)
-	s.training = false
-	s.mu.Unlock()
-	if installErr != nil {
-		s.trainMetrics.RunFinished(true)
-		writeError(w, http.StatusInternalServerError, installErr)
-		return
-	}
-	s.trainMetrics.RunFinished(false)
-
-	writeJSON(w, http.StatusOK, map[string]any{
-		"epochs":     len(hist.TrainLoss),
-		"bestEpoch":  hist.BestEpoch,
-		"bestLoss":   hist.BestValLoss,
-		"samples":    train.Len(),
-		"parameters": m.NumParameters(),
-	})
-}
-
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var body sampleBody
-	if err := decodeBody(r, &body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &body); err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	a, err := s.extract(&body)
@@ -464,12 +406,41 @@ func allIndices(n int) []int {
 	return idx
 }
 
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 16<<20))
+// errEmptyBody marks a request whose body held no JSON value at all (as
+// opposed to a malformed one). Handlers that accept an absent body — like
+// /v1/train, where it means "all defaults" — test for it with errors.Is;
+// note ContentLength is useless for that distinction, since chunked
+// requests carry -1 whether or not bytes follow.
+var errEmptyBody = errors.New("empty request body")
+
+// maxBodyBytes bounds every request body; oversized bodies surface as 413.
+const maxBodyBytes = 16 << 20
+
+// decodeBody decodes a JSON request body into v. It passes the real
+// ResponseWriter to MaxBytesReader so the connection is closed after an
+// overrun, preventing a client from streaming the rest of an oversized
+// body into a dead handler.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			// Decode returns bare io.EOF only when no bytes preceded it:
+			// the body was empty. Truncated JSON is io.ErrUnexpectedEOF.
+			return errEmptyBody
+		}
 		return fmt.Errorf("decode request: %w", err)
 	}
 	return nil
+}
+
+// decodeStatus maps a decodeBody error to its HTTP status: 413 when the
+// body blew the size cap, else 400.
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -177,7 +178,7 @@ func TestTrainRequiresTwoPerFamily(t *testing.T) {
 }
 
 func TestTrainConflictWhileTraining(t *testing.T) {
-	srv, ts, client := newTestServer(t, []string{"clean", "dirty"})
+	_, ts, client := newTestServer(t, []string{"clean", "dirty"})
 	for i := 0; i < 2; i++ {
 		if err := client.AddSampleASM("clean", "", chainProgram); err != nil {
 			t.Fatal(err)
@@ -186,10 +187,16 @@ func TestTrainConflictWhileTraining(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Simulate an in-flight training run.
-	srv.mu.Lock()
-	srv.training = true
-	srv.mu.Unlock()
+	// A real in-flight job: an epoch budget large enough that it is still
+	// running when the second submission lands (409 is checked before the
+	// first response returns, since admission is synchronous).
+	job, err := client.StartTrain(context.Background(), 1_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status != JobRunning {
+		t.Fatalf("job status = %q, want running", job.Status)
+	}
 	resp, err := http.Post(ts.URL+"/v1/train", "application/json", strings.NewReader(`{}`))
 	if err != nil {
 		t.Fatal(err)
@@ -198,9 +205,16 @@ func TestTrainConflictWhileTraining(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("status = %d, want 409", resp.StatusCode)
 	}
-	srv.mu.Lock()
-	srv.training = false
-	srv.mu.Unlock()
+	if _, err := client.CancelTrain(context.Background(), job.Job); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.WaitTrain(context.Background(), job.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != JobCancelled {
+		t.Fatalf("cancelled job status = %q, want cancelled", st.Status)
+	}
 }
 
 func TestModelEndpoint(t *testing.T) {

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/acfg"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Store is the server's durable state directory:
+//
+//	<dir>/corpus.wal   append-only JSONL, one accepted sample per line
+//	<dir>/model.json   atomic checkpoint of the serving model
+//
+// The WAL is appended (and fsynced) on every accepted POST /v1/samples and
+// replayed on startup; the model is checkpointed when a training job
+// succeeds and again on graceful shutdown, via the atomic
+// core.Model.SaveFile, so a crash at any point leaves either the previous
+// checkpoint or the new one — never a torn file. A torn trailing WAL line
+// (the signature of a crash mid-append) is detected on replay and
+// truncated away so subsequent appends start from a clean record boundary.
+type Store struct {
+	dir string
+	wal *os.File
+}
+
+const (
+	walFilename   = "corpus.wal"
+	modelFilename = "model.json"
+)
+
+// walEntry is one corpus sample on disk. The family travels by name, not
+// label index, so the WAL stays valid as long as the server's family
+// universe contains it.
+type walEntry struct {
+	Family string     `json:"family"`
+	Name   string     `json:"name"`
+	ACFG   *acfg.ACFG `json:"acfg"`
+}
+
+// OpenStore opens (creating if needed) a state directory. Leftover
+// temporary files from an interrupted atomic checkpoint are swept away.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: open state dir: %w", err)
+	}
+	if stale, err := filepath.Glob(filepath.Join(dir, modelFilename+".tmp-*")); err == nil {
+		for _, f := range stale {
+			_ = os.Remove(f)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the state directory path.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) walPath() string   { return filepath.Join(st.dir, walFilename) }
+func (st *Store) modelPath() string { return filepath.Join(st.dir, modelFilename) }
+
+// replayCorpus streams every intact WAL entry to apply, in append order.
+// A torn final line is truncated in place; corruption anywhere else is an
+// error (the WAL is the only copy of the corpus — silently skipping
+// records would fake data loss as success). Returns the number of
+// replayed samples. Must be called before AppendSample.
+func (st *Store) replayCorpus(apply func(walEntry) error) (int, error) {
+	f, err := os.OpenFile(st.walPath(), os.O_RDONLY, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("service: open corpus wal: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+
+	br := bufio.NewReaderSize(f, 1<<20)
+	var replayed int
+	var goodBytes int64
+	for {
+		line, readErr := br.ReadBytes('\n')
+		if len(line) > 0 {
+			var e walEntry
+			if jsonErr := json.Unmarshal(line, &e); jsonErr != nil {
+				// A record that fails to parse is either a torn tail
+				// (crash mid-append — tolerated and truncated) or genuine
+				// corruption mid-file (fatal).
+				if isLastLine(br, readErr) {
+					break
+				}
+				return replayed, fmt.Errorf("service: corpus wal corrupt at byte %d: %w", goodBytes, jsonErr)
+			}
+			if applyErr := apply(e); applyErr != nil {
+				return replayed, applyErr
+			}
+			replayed++
+			goodBytes += int64(len(line))
+		}
+		if readErr != nil {
+			if errors.Is(readErr, io.EOF) {
+				break
+			}
+			return replayed, fmt.Errorf("service: read corpus wal: %w", readErr)
+		}
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > goodBytes {
+		if err := os.Truncate(st.walPath(), goodBytes); err != nil {
+			return replayed, fmt.Errorf("service: truncate torn wal tail: %w", err)
+		}
+	}
+	return replayed, nil
+}
+
+// isLastLine reports whether the reader holds no further data: the line
+// that just failed to parse was the file's tail.
+func isLastLine(br *bufio.Reader, readErr error) bool {
+	if readErr != nil {
+		return true // the bad line itself ended at EOF (no trailing \n)
+	}
+	_, err := br.Peek(1)
+	return errors.Is(err, io.EOF)
+}
+
+// AppendSample durably appends one accepted sample to the WAL. The write
+// is fsynced before returning, so an acknowledged upload survives a crash.
+func (st *Store) AppendSample(family, name string, a *acfg.ACFG) error {
+	if st.wal == nil {
+		f, err := os.OpenFile(st.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("service: open corpus wal: %w", err)
+		}
+		st.wal = f
+	}
+	line, err := json.Marshal(walEntry{Family: family, Name: name, ACFG: a})
+	if err != nil {
+		return fmt.Errorf("service: encode wal entry: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := st.wal.Write(line); err != nil {
+		return fmt.Errorf("service: append corpus wal: %w", err)
+	}
+	if err := st.wal.Sync(); err != nil {
+		return fmt.Errorf("service: sync corpus wal: %w", err)
+	}
+	return nil
+}
+
+// SaveModel atomically checkpoints m to <dir>/model.json.
+func (st *Store) SaveModel(m *core.Model) error {
+	return m.SaveFile(st.modelPath())
+}
+
+// LoadModel loads the model checkpoint, returning (nil, nil) when none
+// exists yet.
+func (st *Store) LoadModel() (*core.Model, error) {
+	m, err := core.LoadFile(st.modelPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return m, err
+}
+
+// Close releases the WAL handle. The Store must not be used afterwards.
+func (st *Store) Close() error {
+	if st.wal == nil {
+		return nil
+	}
+	err := st.wal.Close()
+	st.wal = nil
+	if err != nil {
+		return fmt.Errorf("service: close corpus wal: %w", err)
+	}
+	return nil
+}
+
+// AttachStore wires a state directory into the server: the corpus WAL is
+// replayed into the in-memory corpus, the model checkpoint (when present)
+// is installed, and from then on accepted samples are appended to the WAL
+// and successful training runs are checkpointed. Call it once, before
+// serving traffic. It returns the number of replayed samples and whether
+// a checkpointed model was installed.
+func (s *Server) AttachStore(st *Store) (replayed int, modelLoaded bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		return 0, false, fmt.Errorf("service: store already attached")
+	}
+	replayed, err = st.replayCorpus(func(e walEntry) error {
+		label, ok := s.labelOf[e.Family]
+		if !ok {
+			return fmt.Errorf("service: wal sample %q has family %q outside the server's universe", e.Name, e.Family)
+		}
+		if e.ACFG == nil {
+			return fmt.Errorf("service: wal sample %q has no acfg", e.Name)
+		}
+		s.corpus.Add(&dataset.Sample{Name: e.Name, Label: label, ACFG: e.ACFG})
+		return nil
+	})
+	if err != nil {
+		return replayed, false, err
+	}
+	counts := s.corpus.CountByClass()
+	for i, f := range s.families {
+		s.corpusSize.With(f).Set(float64(counts[i]))
+	}
+	m, err := st.LoadModel()
+	if err != nil {
+		return replayed, false, fmt.Errorf("service: load model checkpoint: %w", err)
+	}
+	if m != nil {
+		if m.Config.Classes != len(s.families) {
+			return replayed, false, fmt.Errorf("service: checkpointed model has %d classes, server has %d families",
+				m.Config.Classes, len(s.families))
+		}
+		if err := s.installModelLocked(m); err != nil {
+			return replayed, false, err
+		}
+		modelLoaded = true
+	}
+	s.store = st
+	return replayed, modelLoaded, nil
+}
+
+// ImportCorpus bulk-adds every sample of d to the server corpus (and the
+// attached WAL, when present). d's family names must all exist in the
+// server's universe; labels are remapped by name.
+func (s *Server) ImportCorpus(d *dataset.Dataset) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, smp := range d.Samples {
+		family := d.Families[smp.Label]
+		label, ok := s.labelOf[family]
+		if !ok {
+			return fmt.Errorf("service: import sample %q: unknown family %q", smp.Name, family)
+		}
+		if s.store != nil {
+			if err := s.store.AppendSample(family, smp.Name, smp.ACFG); err != nil {
+				return err
+			}
+		}
+		s.corpus.Add(&dataset.Sample{Name: smp.Name, Label: label, ACFG: smp.ACFG})
+	}
+	counts := s.corpus.CountByClass()
+	for i, f := range s.families {
+		s.corpusSize.With(f).Set(float64(counts[i]))
+	}
+	return nil
+}
+
+// Close gracefully quiesces the server: it cancels any running training
+// job and waits for it, writes a final model checkpoint, and releases the
+// state directory. Safe to call when no store is attached.
+func (s *Server) Close() error {
+	s.CancelTraining()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return nil
+	}
+	var first error
+	if s.model != nil {
+		if err := s.store.SaveModel(s.model); err != nil {
+			first = err
+		}
+	}
+	if err := s.store.Close(); err != nil && first == nil {
+		first = err
+	}
+	s.store = nil
+	return first
+}
