@@ -6,6 +6,17 @@
 //
 //	go test -bench=. -benchtime=1x | go run ./cmd/benchjson > BENCH_train.json
 //
+// With -compare the freshly parsed run is additionally diffed against a
+// committed baseline report:
+//
+//	go test -bench=. -benchmem | go run ./cmd/benchjson -compare BENCH_train.json > bench_new.json
+//
+// The comparison fails (exit 1, one line per offender on stderr) when a
+// benchmark present in both runs regresses by more than 15% ns/op, or
+// reports ANY increase in allocs/op — the zero-allocation hot path treats a
+// single new allocation per op as a bug, not noise. Benchmarks absent from
+// the baseline are skipped, so adding a benchmark never breaks the gate.
+//
 // Each benchmark result line of the form
 //
 //	BenchmarkParallelTrain/workers4-8  1  123456789 ns/op  42.0 custom/metric
@@ -19,6 +30,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -48,7 +60,15 @@ type Report struct {
 	Succeeded bool     `json:"succeeded"`
 }
 
+// regressionTolerance is the fractional ns/op slowdown the -compare gate
+// accepts before failing; allocs/op regressions have no tolerance at all.
+const regressionTolerance = 0.15
+
 func main() {
+	baselinePath := flag.String("compare", "",
+		"baseline JSON report; exit 1 on >15% ns/op or any allocs/op regression")
+	flag.Parse()
+
 	report := parse(bufio.NewScanner(os.Stdin))
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -60,6 +80,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no passing benchmark run found in input")
 		os.Exit(1)
 	}
+	if *baselinePath == "" {
+		return
+	}
+	baseline, err := readReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	regressions := compare(report.Results, baseline.Results, regressionTolerance)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regressions against %s\n", *baselinePath)
+}
+
+// readReport loads a previously emitted JSON report from disk.
+func readReport(path string) (Report, error) {
+	var rep Report
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, fmt.Errorf("open baseline: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compare diffs the current results against the baseline by benchmark name
+// and returns one human-readable line per regression: ns/op beyond the
+// tolerance, or any allocs/op increase when both runs carry -benchmem
+// columns. Benchmarks missing from either side are skipped.
+func compare(cur, base []Result, tol float64) []string {
+	byName := make(map[string]Result, len(base))
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var out []string
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+tol) {
+			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
+				c.Name, c.NsPerOp, b.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100, tol*100))
+		}
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil && *c.AllocsPerOp > *b.AllocsPerOp {
+			out = append(out, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (any increase fails)",
+				c.Name, *c.AllocsPerOp, *b.AllocsPerOp))
+		}
+	}
+	return out
 }
 
 func parse(sc *bufio.Scanner) Report {

@@ -144,3 +144,83 @@ func TestParseNoRun(t *testing.T) {
 		t.Fatalf("got %d results from FAIL output", len(report.Results))
 	}
 }
+
+// TestCompare drives the -compare diff over the regression matrix: timing
+// within/beyond tolerance, alloc increases (including 0 → 1, the case the
+// zero-alloc contract exists for), missing baselines, and missing columns.
+func TestCompare(t *testing.T) {
+	fptr := func(v float64) *float64 { return &v }
+	res := func(name string, ns float64, allocs *float64) Result {
+		return Result{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+	}
+	cases := []struct {
+		name string
+		cur  []Result
+		base []Result
+		want int
+	}{
+		{
+			name: "unchanged run passes",
+			cur:  []Result{res("BenchmarkTrainEpoch", 100, fptr(0))},
+			base: []Result{res("BenchmarkTrainEpoch", 100, fptr(0))},
+		},
+		{
+			name: "improvement passes",
+			cur:  []Result{res("BenchmarkTrainEpoch", 50, fptr(0))},
+			base: []Result{res("BenchmarkTrainEpoch", 100, fptr(10))},
+		},
+		{
+			name: "slowdown within 15% passes",
+			cur:  []Result{res("BenchmarkTrainEpoch", 114, nil)},
+			base: []Result{res("BenchmarkTrainEpoch", 100, nil)},
+		},
+		{
+			name: "slowdown beyond 15% fails",
+			cur:  []Result{res("BenchmarkTrainEpoch", 116, nil)},
+			base: []Result{res("BenchmarkTrainEpoch", 100, nil)},
+			want: 1,
+		},
+		{
+			name: "single new allocation fails",
+			cur:  []Result{res("BenchmarkTrainEpoch", 100, fptr(1))},
+			base: []Result{res("BenchmarkTrainEpoch", 100, fptr(0))},
+			want: 1,
+		},
+		{
+			name: "both regressions reported",
+			cur:  []Result{res("BenchmarkTrainEpoch", 200, fptr(5))},
+			base: []Result{res("BenchmarkTrainEpoch", 100, fptr(0))},
+			want: 2,
+		},
+		{
+			name: "benchmark absent from baseline skipped",
+			cur:  []Result{res("BenchmarkBrandNew", 1e9, fptr(999))},
+			base: []Result{res("BenchmarkTrainEpoch", 100, fptr(0))},
+		},
+		{
+			name: "alloc columns missing on one side skipped",
+			cur:  []Result{res("BenchmarkTrainEpoch", 100, fptr(7))},
+			base: []Result{res("BenchmarkTrainEpoch", 100, nil)},
+		},
+		{
+			name: "only matching names diffed",
+			cur: []Result{
+				res("BenchmarkTrainEpoch", 100, fptr(0)),
+				res("BenchmarkPredict", 500, fptr(3)),
+			},
+			base: []Result{
+				res("BenchmarkTrainEpoch", 100, fptr(0)),
+				res("BenchmarkPredict", 100, fptr(0)),
+			},
+			want: 2, // Predict regressed in both time and allocs
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := compare(tc.cur, tc.base, regressionTolerance)
+			if len(got) != tc.want {
+				t.Fatalf("compare returned %d regressions, want %d: %v", len(got), tc.want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/malgen"
+)
+
+// goldenModelSHA256 pins the exact bytes of the model produced by a
+// fixed-seed 3-epoch training run (determinismConfig on the relabeled
+// 24-sample MSKCFG corpus). The serialized form is JSON with struct fields in
+// declaration order and shortest-round-trip float formatting, so the digest
+// is stable across processes; any change means the numerical trajectory of
+// training moved — a kernel reordered floating-point operations, an RNG
+// stream shifted, or the reduction tree changed shape. If the change is
+// intentional, regenerate with:
+//
+//	go test ./internal/core -run TestGoldenModelChecksum -v
+//
+// and copy the digest printed in the failure message.
+const goldenModelSHA256 = "a638d53148c0c3337ff8ce9b07c7fd20570e49b2c914ae3f3b60d430d3829cc8"
+
+// TestGoldenModelChecksum is the cross-process determinism regression: the
+// same fixed-seed run must reproduce byte-identical checkpoints today, next
+// week, and on any worker count. Workers=8 exceeds the fixed gradient shard
+// count (maxGradShards=8), exercising the full sharding range.
+func TestGoldenModelChecksum(t *testing.T) {
+	corpus, err := malgen.MSKCFG(malgen.Options{TotalSamples: 24, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := dataset.New([]string{"even", "odd"})
+	for i, s := range corpus.Samples {
+		two.Add(&dataset.Sample{Name: s.Name, Label: i % 2, ACFG: s.ACFG})
+	}
+	train, val, err := two.TrainValSplit(0.25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		_, raw := trainOnce(t, train, val, workers)
+		sum := sha256.Sum256(raw)
+		if got := hex.EncodeToString(sum[:]); got != goldenModelSHA256 {
+			t.Errorf("workers=%d: model checksum %s, want %s", workers, got, goldenModelSHA256)
+		}
+	}
+}

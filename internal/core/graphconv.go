@@ -14,20 +14,36 @@ import (
 //
 // The propagation operator D̄⁻¹Ā is supplied per sample as a
 // graph.Propagator; the stack holds only the weight matrices W_t.
+//
+// All per-sample intermediates are drawn from the replica workspace when one
+// is installed, so a warmed-up stack allocates nothing per forward/backward.
+// Every workspace matrix is fully defined before use (the *Into kernel
+// contract) or explicitly zero-gated, since checkouts are dirty.
 type GraphConvStack struct {
 	Weights []*nn.Param // W_t of shape c_t × c_{t+1}
 
-	// Per-sample caches for the backward pass.
+	ws *nn.Workspace
+
+	// Per-sample caches for the backward pass, sized once to the layer
+	// count; the matrices they point at are workspace checkouts valid until
+	// the next forward.
 	prop   *graph.Propagator
 	inputs []*tensor.Matrix // Z_t (pre-layer inputs), len == layers
 	pre    []*tensor.Matrix // P·Z_t·W_t (pre-activation), len == layers
 	outs   []*tensor.Matrix // Z_{t+1} (post-activation), len == layers
+	dOuts  []*tensor.Matrix // backward scratch, len == layers
 }
 
 // NewGraphConvStack builds h = len(sizes) layers mapping attrDim →
 // sizes[0] → sizes[1] → … with Glorot-uniform weights.
 func NewGraphConvStack(rng *rand.Rand, attrDim int, sizes []int) *GraphConvStack {
-	s := &GraphConvStack{}
+	h := len(sizes)
+	s := &GraphConvStack{
+		inputs: make([]*tensor.Matrix, h),
+		pre:    make([]*tensor.Matrix, h),
+		outs:   make([]*tensor.Matrix, h),
+		dOuts:  make([]*tensor.Matrix, h),
+	}
 	in := attrDim
 	for i, out := range sizes {
 		name := "gconv" + string(rune('0'+i))
@@ -36,6 +52,10 @@ func NewGraphConvStack(rng *rand.Rand, attrDim int, sizes []int) *GraphConvStack
 	}
 	return s
 }
+
+// SetWorkspace installs the scratch workspace the stack draws per-sample
+// intermediates from.
+func (s *GraphConvStack) SetWorkspace(ws *nn.Workspace) { s.ws = ws }
 
 // Params exposes the layer weights to the optimizer.
 func (s *GraphConvStack) Params() []*nn.Param {
@@ -48,20 +68,31 @@ func (s *GraphConvStack) Params() []*nn.Param {
 // concatenated Z^{1:h} (n × Σ c_t).
 func (s *GraphConvStack) Forward(prop *graph.Propagator, x *tensor.Matrix) *tensor.Matrix {
 	s.prop = prop
-	h := len(s.Weights)
-	s.inputs = make([]*tensor.Matrix, h)
-	s.pre = make([]*tensor.Matrix, h)
-	s.outs = make([]*tensor.Matrix, h)
+	if h := len(s.Weights); len(s.inputs) != h {
+		// Stacks built as struct literals (tests) skip the constructor;
+		// size the per-layer caches on first use.
+		s.inputs = make([]*tensor.Matrix, h)
+		s.pre = make([]*tensor.Matrix, h)
+		s.outs = make([]*tensor.Matrix, h)
+		s.dOuts = make([]*tensor.Matrix, h)
+	}
 	z := x
+	total := 0
 	for t, w := range s.Weights {
 		s.inputs[t] = z
-		f := tensor.MatMul(z, w.Value) // Z_t · W_t
-		o := prop.Apply(f)             // D̄⁻¹ Ā · (Z_t W_t)
+		f := s.ws.Matrix(z.Rows, w.Value.Cols)
+		tensor.MatMulInto(f, z, w.Value) // Z_t · W_t
+		o := s.ws.Matrix(f.Rows, f.Cols)
+		prop.ApplyInto(o, f) // D̄⁻¹ Ā · (Z_t W_t)
 		s.pre[t] = o
-		z = o.Map(relu)
+		z = s.ws.Matrix(o.Rows, o.Cols)
+		tensor.MapInto(z, o, relu)
 		s.outs[t] = z
+		total += w.Value.Cols
 	}
-	return tensor.HConcat(s.outs...)
+	out := s.ws.Matrix(x.Rows, total)
+	tensor.HConcatInto(out, s.outs...)
+	return out
 }
 
 // Backward consumes ∂L/∂Z^{1:h} and returns ∂L/∂X, accumulating weight
@@ -70,31 +101,41 @@ func (s *GraphConvStack) Forward(prop *graph.Propagator, x *tensor.Matrix) *tens
 func (s *GraphConvStack) Backward(dconcat *tensor.Matrix) *tensor.Matrix {
 	h := len(s.Weights)
 	// Split the concatenated gradient into per-layer slices.
-	dOuts := make([]*tensor.Matrix, h)
 	off := 0
 	for t := range s.Weights {
 		w := s.Weights[t].Value.Cols
-		dOuts[t] = dconcat.SliceCols(off, off+w)
+		s.dOuts[t] = s.ws.Matrix(dconcat.Rows, w)
+		tensor.SliceColsInto(s.dOuts[t], dconcat, off, off+w)
 		off += w
 	}
 	var dNext *tensor.Matrix // gradient flowing into Z_t from layer t (w.r.t. its input)
 	for t := h - 1; t >= 0; t-- {
-		dz := dOuts[t]
+		dz := s.dOuts[t]
 		if dNext != nil {
-			dz = tensor.Add(dz, dNext)
+			dz.AddInPlace(dNext)
 		}
-		// Through ReLU: gate on pre-activation sign.
-		dpre := tensor.New(dz.Rows, dz.Cols)
+		// Through ReLU: gate on pre-activation sign. dpre is a dirty
+		// checkout, so both branches write.
+		dpre := s.ws.Matrix(dz.Rows, dz.Cols)
 		for i, g := range dz.Data {
 			if s.pre[t].Data[i] > 0 {
 				dpre.Data[i] = g
+			} else {
+				dpre.Data[i] = 0
 			}
 		}
 		// Through P: dF = Pᵀ · dpre.
-		df := s.prop.ApplyTranspose(dpre)
-		// Through the matmul: dW_t += Z_tᵀ · dF ; dZ_t = dF · W_tᵀ.
-		s.Weights[t].Grad.AddInPlace(tensor.MatMul(s.inputs[t].T(), df))
-		dNext = tensor.MatMul(df, s.Weights[t].Value.T())
+		df := s.ws.Matrix(dpre.Rows, dpre.Cols)
+		s.prop.ApplyTransposeInto(df, dpre)
+		// Through the matmul: dW_t += Z_tᵀ · dF ; dZ_t = dF · W_tᵀ. The
+		// weight gradient goes through a scratch product first — the
+		// accumulated Grad must see one rounded product per sample, exactly
+		// like the allocating MatMul-then-AddInPlace it replaces.
+		gw := s.ws.Matrix(s.Weights[t].Value.Rows, s.Weights[t].Value.Cols)
+		tensor.MatMulTAInto(gw, s.inputs[t], df)
+		s.Weights[t].Grad.AddInPlace(gw)
+		dNext = s.ws.Matrix(df.Rows, s.Weights[t].Value.Rows)
+		tensor.MatMulTBInto(dNext, df, s.Weights[t].Value)
 	}
 	return dNext
 }

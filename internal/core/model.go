@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/acfg"
 	"repro/internal/graph"
@@ -36,7 +37,27 @@ type Model struct {
 	scaler   *Scaler
 	params   []*nn.Param
 	dropouts []*nn.Dropout
+
+	// ws is the model's scratch workspace. Every per-sample intermediate of
+	// the forward and backward passes is checked out of it, and it is Reset
+	// at the top of each forward — so after one warm-up pass a steady-state
+	// TrainStep performs zero heap allocations.
+	ws *nn.Workspace
+	// probs/dlogits are the persistent loss scratch for TrainStep.
+	probs   []float64
+	dlogits []float64
+
+	// Cached prediction engine for PredictBatch (see parallel.go).
+	predictMu   sync.Mutex
+	predEngine  *ParallelBatch
+	predWorkers int
+	predScaler  *Scaler
 }
+
+// emptyProp is the shared single-vertex propagation operator used for
+// degenerate empty graphs. Propagators are read-only after construction, so
+// one instance serves every model and replica.
+var emptyProp = graph.NewPropagator(graph.NewDirected(1))
 
 // NewModel constructs a model. trainSizes supplies the training graphs'
 // vertex counts used to resolve k for sort pooling (may be nil in adaptive
@@ -71,6 +92,15 @@ func NewModel(cfg Config, trainSizes []int) (*Model, error) {
 			m.dropouts = append(m.dropouts, d)
 		}
 	}
+
+	m.ws = nn.NewWorkspace()
+	m.conv.SetWorkspace(m.ws)
+	if m.sort != nil {
+		m.sort.SetWorkspace(m.ws)
+	}
+	m.head.SetWorkspace(m.ws)
+	m.probs = make([]float64, cfg.Classes)
+	m.dlogits = make([]float64, cfg.Classes)
 	return m, nil
 }
 
@@ -186,16 +216,34 @@ func (m *Model) Forward(a *acfg.ACFG, train bool) []float64 {
 }
 
 // forwardProp is Forward with a caller-supplied (possibly cached)
-// propagation operator.
+// propagation operator. It returns a fresh logits slice the caller owns.
 func (m *Model) forwardProp(prop *graph.Propagator, a *acfg.ACFG, train bool) []float64 {
+	out := m.forwardLogits(prop, a, train)
+	logits := make([]float64, len(out))
+	copy(logits, out)
+	return logits
+}
+
+// forwardLogits is the allocation-free forward pass. The returned slice is
+// workspace memory owned by the model: it is valid until the next forward
+// pass and must not be retained. Resetting the workspace here — at the top
+// of the forward, never after the backward — keeps the public
+// Forward-then-Backward sequence valid: all layer caches live until the next
+// sample starts.
+func (m *Model) forwardLogits(prop *graph.Propagator, a *acfg.ACFG, train bool) []float64 {
+	m.ws.Reset()
 	x := a.Attrs
-	if m.scaler != nil {
-		x = m.scaler.Transform(x)
-	}
 	if x.Rows == 0 {
-		// Degenerate empty graph: classify a single zero vertex.
-		x = tensor.New(1, m.Config.AttrDim)
-		prop = graph.NewPropagator(graph.NewDirected(1))
+		// Degenerate empty graph: classify a single zero vertex. (The
+		// scaler is skipped exactly as before: the substitute vertex stays
+		// all-zero.)
+		x = m.ws.Matrix(1, m.Config.AttrDim)
+		x.Zero()
+		prop = emptyProp
+	} else if m.scaler != nil {
+		sx := m.ws.Matrix(x.Rows, x.Cols)
+		m.scaler.TransformInto(sx, x)
+		x = sx
 	}
 	z := m.conv.Forward(prop, x)
 
@@ -203,38 +251,58 @@ func (m *Model) forwardProp(prop *graph.Propagator, a *acfg.ACFG, train bool) []
 	if m.sort != nil {
 		zsp := m.sort.Forward(z)
 		if m.Config.Head == Conv1DHead {
-			vol = nn.NewVolume(1, 1, zsp.Rows*zsp.Cols)
-			copy(vol.Data, zsp.Data)
+			vol = m.ws.Volume(1, 1, zsp.Rows*zsp.Cols)
 		} else {
-			vol = nn.MatrixVolume(zsp)
+			vol = m.ws.Volume(1, zsp.Rows, zsp.Cols)
 		}
+		copy(vol.Data, zsp.Data)
 	} else {
-		vol = nn.MatrixVolume(z)
+		vol = m.ws.Volume(1, z.Rows, z.Cols)
+		copy(vol.Data, z.Data)
 	}
 	out := m.head.Forward(vol, train)
-	logits := make([]float64, len(out.Data))
-	copy(logits, out.Data)
-	return logits
+	return out.Data
 }
 
 // Backward propagates ∂L/∂logits through the whole network, accumulating
 // parameter gradients. Must follow a Forward call on the same sample.
 func (m *Model) Backward(dlogits []float64) {
-	dvol := nn.VecVolume(dlogits)
+	dvol := m.ws.Volume(1, 1, len(dlogits))
+	copy(dvol.Data, dlogits)
 	din := m.head.Backward(dvol)
 
 	var dz *tensor.Matrix
 	if m.sort != nil {
 		k := m.sort.K
 		d := din.Len() / k
-		dm := tensor.New(k, d)
+		dm := m.ws.Matrix(k, d)
 		copy(dm.Data, din.Data)
 		dz = m.sort.Backward(dm)
 	} else {
-		dz = din.Matrix()
+		dm := m.ws.Matrix(din.H, din.W)
+		copy(dm.Data, din.Data)
+		dz = dm
 	}
 	m.conv.Backward(dz)
 }
+
+// TrainStep runs one full training sample — per-sample noise seeding,
+// forward, softmax-NLL loss and backward — accumulating parameter gradients.
+// It is the zero-allocation core of the training loop: after one warm-up
+// pass every buffer it touches comes from the model's workspace or
+// persistent scratch.
+func (m *Model) TrainStep(prop *graph.Propagator, a *acfg.ACFG, label int, seed int64) (loss float64, hit bool) {
+	m.SeedSampleNoise(seed)
+	logits := m.forwardLogits(prop, a, true)
+	loss = nn.SoftmaxNLLInto(logits, label, m.probs, m.dlogits)
+	hit = argmax(logits) == label
+	m.Backward(m.dlogits)
+	return loss, hit
+}
+
+// WorkspaceStats reports the model workspace's cumulative checkouts and
+// owned scratch bytes, feeding the magic_workspace_* gauges.
+func (m *Model) WorkspaceStats() tensor.WorkspaceStats { return m.ws.Stats() }
 
 // Predict returns the class-probability vector for one ACFG.
 func (m *Model) Predict(a *acfg.ACFG) []float64 {

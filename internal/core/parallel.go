@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/acfg"
 	"repro/internal/graph"
@@ -26,6 +27,17 @@ const maxGradShards = 8
 // PredictBatch). Results are written to per-sample slots, so chunking only
 // affects load balance, never the outcome.
 const evalChunk = 4
+
+// batchOp selects the per-shard work the engine dispatches. The engine
+// carries its inputs in fields rather than closures so a steady-state batch
+// captures nothing and allocates nothing.
+type batchOp int
+
+const (
+	opTrain batchOp = iota
+	opEval
+	opPredict
+)
 
 // sampleTask is one unit of per-sample work handed to a worker replica.
 type sampleTask struct {
@@ -57,7 +69,8 @@ type sampleResult struct {
 //
 // A ParallelBatch is bound to one Model and is not itself safe for
 // concurrent use; distinct engines over distinct models may run
-// concurrently.
+// concurrently. Each replica owns a private workspace, so per-sample
+// execution stays allocation-free without any cross-worker sharing.
 type ParallelBatch struct {
 	main     *Model
 	replicas []*Model // replicas[0] == main
@@ -65,6 +78,17 @@ type ParallelBatch struct {
 
 	// shardGrads[s][p] buffers shard s's gradient sum for parameter p.
 	shardGrads [][]*tensor.Matrix
+
+	// Per-batch dispatch state, reused across calls (one batch at a time).
+	op      batchOp
+	tasks   []sampleTask
+	results []sampleResult
+	out     [][]float64
+	ranges  [][2]int
+	errs    []error
+	busy    obs.BusyMeter
+	failed  atomic.Bool
+	next    atomic.Int64
 }
 
 // NewParallelBatch builds an engine with the given worker count (values < 1
@@ -92,6 +116,7 @@ func NewParallelBatch(m *Model, workers int) (*ParallelBatch, error) {
 		}
 		e.shardGrads[s] = bufs
 	}
+	e.ranges = make([][2]int, 0, maxGradShards)
 	return e, nil
 }
 
@@ -102,13 +127,18 @@ func (e *ParallelBatch) Workers() int { return e.workers }
 // ranges, front-loading the remainder so sizes differ by at most one. The
 // decomposition is a pure function of (n, shards).
 func shardRanges(n, shards int) [][2]int {
+	out := make([][2]int, 0, shards)
+	return appendShardRanges(out, n, shards)
+}
+
+// appendShardRanges is shardRanges into a reused backing slice.
+func appendShardRanges(out [][2]int, n, shards int) [][2]int {
 	if shards > n {
 		shards = n
 	}
 	if shards < 1 {
 		shards = 1
 	}
-	out := make([][2]int, 0, shards)
 	q, r := n/shards, n%shards
 	start := 0
 	for s := 0; s < shards; s++ {
@@ -130,18 +160,13 @@ func shardRanges(n, shards int) [][2]int {
 // returned.
 func (e *ParallelBatch) TrainBatch(tasks []sampleTask, results []sampleResult) error {
 	wall := obs.StartTimer()
-	shards := shardRanges(len(tasks), maxGradShards)
-	var busy obs.BusyMeter
-	err := e.runShards(len(shards), func(w, si int) error {
-		defer busy.Track()()
-		return e.runTrainShard(e.replicas[w], si, shards[si], tasks, results)
-	})
-	if err != nil {
+	e.op, e.tasks, e.results = opTrain, tasks, results
+	e.ranges = appendShardRanges(e.ranges[:0], len(tasks), maxGradShards)
+	if err := e.runShards(len(e.ranges)); err != nil {
 		return err
 	}
-	reduceShards(e.main.params, e.shardGrads, len(shards))
-	obs.ObserveParallelBatch(obs.PhaseTrain, e.workers, len(tasks),
-		wall.Elapsed(), busy.Total())
+	reduceShards(e.main.params, e.shardGrads, len(e.ranges))
+	e.observe(obs.PhaseTrain, len(tasks), wall.Elapsed())
 	return nil
 }
 
@@ -150,24 +175,14 @@ func (e *ParallelBatch) TrainBatch(tasks []sampleTask, results []sampleResult) e
 // into the shard's buffer and zeroes them so the replica is clean for its
 // next shard. Panics (malformed samples reaching the numeric core) are
 // converted to errors.
-func (e *ParallelBatch) runTrainShard(rep *Model, si int, r [2]int, tasks []sampleTask, results []sampleResult) (err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			err = fmt.Errorf("core: parallel batch shard %d: %v", si, p)
-		}
-		if err != nil {
-			for _, pp := range rep.params {
-				pp.Grad.Zero() // discard partial shard gradients
-			}
-		}
-	}()
+func (e *ParallelBatch) runTrainShard(rep *Model, si int) (err error) {
+	defer discardGradsOnErr(rep, &err)
+	defer recoverShard(&err, "batch shard", si)
+	r := e.ranges[si]
 	for i := r[0]; i < r[1]; i++ {
-		t := tasks[i]
-		rep.SeedSampleNoise(t.seed)
-		logits := rep.forwardProp(t.prop, t.a, true)
-		loss, _, dlogits := nn.SoftmaxNLL(logits, t.label)
-		results[i] = sampleResult{loss: loss, hit: argmax(logits) == t.label}
-		rep.Backward(dlogits)
+		t := e.tasks[i]
+		loss, hit := rep.TrainStep(t.prop, t.a, t.label, t.seed)
+		e.results[i] = sampleResult{loss: loss, hit: hit}
 	}
 	for pi, p := range rep.params {
 		copy(e.shardGrads[si][pi].Data, p.Grad.Data)
@@ -176,60 +191,94 @@ func (e *ParallelBatch) runTrainShard(rep *Model, si int, r [2]int, tasks []samp
 	return nil
 }
 
+// recoverShard converts a panic in a worker shard into an error. It must be
+// deferred directly (recover only takes effect when called by the deferred
+// function itself).
+func recoverShard(errp *error, kind string, si int) {
+	if p := recover(); p != nil {
+		*errp = fmt.Errorf("core: parallel %s %d: %v", kind, si, p)
+	}
+}
+
+// discardGradsOnErr zeroes a replica's partial gradients when its shard
+// failed, so a failed batch leaves no residue. Deferred before recoverShard,
+// so it observes the recovered error.
+func discardGradsOnErr(rep *Model, errp *error) {
+	if *errp != nil {
+		for _, pp := range rep.params {
+			pp.Grad.Zero()
+		}
+	}
+}
+
 // EvalBatch computes per-sample inference losses and argmax hits (dropout
 // off, no gradients) into results, which must have len(tasks) slots. The
 // per-sample numbers are identical to a serial EvaluateLoss sweep.
 func (e *ParallelBatch) EvalBatch(tasks []sampleTask, results []sampleResult) error {
 	wall := obs.StartTimer()
-	chunks := shardRanges(len(tasks), (len(tasks)+evalChunk-1)/evalChunk)
-	var busy obs.BusyMeter
-	err := e.runShards(len(chunks), func(w, si int) (err error) {
-		defer busy.Track()()
-		defer func() {
-			if p := recover(); p != nil {
-				err = fmt.Errorf("core: parallel eval chunk %d: %v", si, p)
-			}
-		}()
-		rep := e.replicas[w]
-		for i := chunks[si][0]; i < chunks[si][1]; i++ {
-			t := tasks[i]
-			probs := nn.Softmax(rep.forwardProp(t.prop, t.a, false))
-			results[i] = sampleResult{loss: nn.NLLOfProbs(probs, t.label), hit: argmax(probs) == t.label}
-		}
-		return nil
-	})
-	if err != nil {
+	e.op, e.tasks, e.results = opEval, tasks, results
+	e.ranges = appendShardRanges(e.ranges[:0], len(tasks), (len(tasks)+evalChunk-1)/evalChunk)
+	if err := e.runShards(len(e.ranges)); err != nil {
 		return err
 	}
-	obs.ObserveParallelBatch(obs.PhaseValidate, e.workers, len(tasks),
-		wall.Elapsed(), busy.Total())
+	e.observe(obs.PhaseValidate, len(tasks), wall.Elapsed())
+	return nil
+}
+
+func (e *ParallelBatch) runEvalChunk(rep *Model, si int) (err error) {
+	defer recoverShard(&err, "eval chunk", si)
+	r := e.ranges[si]
+	for i := r[0]; i < r[1]; i++ {
+		t := e.tasks[i]
+		logits := rep.forwardLogits(t.prop, t.a, false)
+		nn.SoftmaxInto(rep.probs, logits)
+		e.results[i] = sampleResult{loss: nn.NLLOfProbs(rep.probs, t.label), hit: argmax(rep.probs) == t.label}
+	}
 	return nil
 }
 
 // predictAll fills out[i] with the class-probability vector of tasks[i].
+// Slots whose existing capacity matches are reused; nil slots are allocated.
 func (e *ParallelBatch) predictAll(tasks []sampleTask, out [][]float64) error {
 	wall := obs.StartTimer()
-	chunks := shardRanges(len(tasks), (len(tasks)+evalChunk-1)/evalChunk)
-	var busy obs.BusyMeter
-	err := e.runShards(len(chunks), func(w, si int) (err error) {
-		defer busy.Track()()
-		defer func() {
-			if p := recover(); p != nil {
-				err = fmt.Errorf("core: parallel predict chunk %d: %v", si, p)
-			}
-		}()
-		rep := e.replicas[w]
-		for i := chunks[si][0]; i < chunks[si][1]; i++ {
-			out[i] = nn.Softmax(rep.forwardProp(tasks[i].prop, tasks[i].a, false))
-		}
-		return nil
-	})
-	if err != nil {
+	e.op, e.tasks, e.out = opPredict, tasks, out
+	e.ranges = appendShardRanges(e.ranges[:0], len(tasks), (len(tasks)+evalChunk-1)/evalChunk)
+	if err := e.runShards(len(e.ranges)); err != nil {
 		return err
 	}
-	obs.ObserveParallelBatch(obs.PhasePredict, e.workers, len(tasks),
-		wall.Elapsed(), busy.Total())
+	e.observe(obs.PhasePredict, len(tasks), wall.Elapsed())
 	return nil
+}
+
+func (e *ParallelBatch) runPredictChunk(rep *Model, si int) (err error) {
+	defer recoverShard(&err, "predict chunk", si)
+	r := e.ranges[si]
+	for i := r[0]; i < r[1]; i++ {
+		t := e.tasks[i]
+		logits := rep.forwardLogits(t.prop, t.a, false)
+		if len(e.out[i]) != len(logits) {
+			e.out[i] = make([]float64, len(logits))
+		}
+		nn.SoftmaxInto(e.out[i], logits)
+	}
+	return nil
+}
+
+// runOne dispatches one shard to one worker replica, accounting its busy
+// time.
+func (e *ParallelBatch) runOne(w, si int) error {
+	sw := obs.StartTimer()
+	var err error
+	switch e.op {
+	case opTrain:
+		err = e.runTrainShard(e.replicas[w], si)
+	case opEval:
+		err = e.runEvalChunk(e.replicas[w], si)
+	default:
+		err = e.runPredictChunk(e.replicas[w], si)
+	}
+	e.busy.Add(sw.Elapsed())
+	return err
 }
 
 // runShards distributes shard indices 0..n-1 over the worker pool and waits
@@ -238,47 +287,71 @@ func (e *ParallelBatch) predictAll(tasks []sampleTask, out [][]float64) error {
 // remaining shards are skipped so the pool shuts down promptly; the error
 // of the lowest-indexed failing shard is returned, making error selection
 // deterministic too.
-func (e *ParallelBatch) runShards(n int, run func(worker, shard int) error) error {
+func (e *ParallelBatch) runShards(n int) error {
+	e.busy.Reset()
 	workers := e.workers
 	if workers > n {
 		workers = n
 	}
-	errs := make([]error, n)
+	if cap(e.errs) < n {
+		e.errs = make([]error, n)
+	}
+	e.errs = e.errs[:n]
+	for i := range e.errs {
+		e.errs[i] = nil
+	}
 	if workers <= 1 {
 		for si := 0; si < n; si++ {
-			if errs[si] = run(0, si); errs[si] != nil {
-				return errs[si]
+			if err := e.runOne(0, si); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
-	var failed atomic.Bool
-	var next atomic.Int64
+	e.failed.Store(false)
+	e.next.Store(0)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				si := int(next.Add(1)) - 1
-				if si >= n || failed.Load() {
-					return
-				}
-				if err := run(w, si); err != nil {
-					errs[si] = err
-					failed.Store(true)
-					return
-				}
-			}
-		}(w)
+		go e.shardWorker(&wg, w, n)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	for _, err := range e.errs {
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// shardWorker pulls shard indices until the supply is exhausted or a shard
+// fails.
+func (e *ParallelBatch) shardWorker(wg *sync.WaitGroup, w, n int) {
+	defer wg.Done()
+	for {
+		si := int(e.next.Add(1)) - 1
+		if si >= n || e.failed.Load() {
+			return
+		}
+		if err := e.runOne(w, si); err != nil {
+			e.errs[si] = err
+			e.failed.Store(true)
+			return
+		}
+	}
+}
+
+// observe publishes the batch's engine telemetry plus the summed replica
+// workspace footprint.
+func (e *ParallelBatch) observe(phase string, samples int, wall time.Duration) {
+	obs.ObserveParallelBatch(phase, e.workers, samples, wall, e.busy.Total())
+	var checkouts, bytes uint64
+	for _, r := range e.replicas {
+		s := r.WorkspaceStats()
+		checkouts += s.Checkouts
+		bytes += s.Bytes
+	}
+	obs.ObserveWorkspace(checkouts, bytes)
 }
 
 // reduceShards folds the first n shard gradient buffers into params' Grad
@@ -308,20 +381,29 @@ func reduceShards(params []*nn.Param, shards [][]*tensor.Matrix, n int) {
 // returning one probability vector per input (in input order). workers < 1
 // selects runtime.GOMAXPROCS. Results are identical to calling Predict
 // serially on each sample.
+//
+// The replica engine is cached on the model and rebuilt only when the worker
+// count or the installed scaler changes, so repeated batches reuse the
+// replicas' warmed-up workspaces. Calls are serialized on the model.
 func (m *Model) PredictBatch(as []*acfg.ACFG, workers int) ([][]float64, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e, err := NewParallelBatch(m, workers)
-	if err != nil {
-		return nil, err
+	m.predictMu.Lock()
+	defer m.predictMu.Unlock()
+	if m.predEngine == nil || m.predWorkers != workers || m.predScaler != m.scaler {
+		e, err := NewParallelBatch(m, workers)
+		if err != nil {
+			return nil, err
+		}
+		m.predEngine, m.predWorkers, m.predScaler = e, workers, m.scaler
 	}
 	tasks := make([]sampleTask, len(as))
 	for i, a := range as {
 		tasks[i] = sampleTask{prop: graph.NewPropagator(a.Graph), a: a}
 	}
 	out := make([][]float64, len(as))
-	if err := e.predictAll(tasks, out); err != nil {
+	if err := m.predEngine.predictAll(tasks, out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/acfg"
@@ -69,11 +70,23 @@ func (s *Scaler) Transform(m *tensor.Matrix) *tensor.Matrix {
 		return m
 	}
 	out := tensor.New(m.Rows, m.Cols)
+	s.TransformInto(out, m)
+	return out
+}
+
+// TransformInto writes the standardized copy of m into dst (same shape,
+// fully overwritten, so dirty scratch buffers are valid destinations). It
+// must not be called on a nil scaler: without fitted statistics there is
+// nothing to write, and the hot path passes the input through untouched
+// instead.
+func (s *Scaler) TransformInto(dst, m *tensor.Matrix) {
+	if dst.Rows != m.Rows || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("core: scaler destination %dx%d, want %dx%d", dst.Rows, dst.Cols, m.Rows, m.Cols))
+	}
 	for i := 0; i < m.Rows; i++ {
-		src, dst := m.Row(i), out.Row(i)
+		src, d := m.Row(i), dst.Row(i)
 		for c, v := range src {
-			dst[c] = (v - s.Mean[c]) / s.Std[c]
+			d[c] = (v - s.Mean[c]) / s.Std[c]
 		}
 	}
-	return out
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -14,11 +15,16 @@ import (
 type SortPool struct {
 	K int
 
+	ws *nn.Workspace
+
 	// Per-sample cache: order[i] is the source row of output row i, or -1
-	// for padding.
-	order []int
-	inN   int
-	inC   int
+	// for padding. order and the sorter's index slice persist across
+	// samples (grown once, fully rewritten) so a warmed-up forward
+	// allocates nothing.
+	order  []int
+	inN    int
+	inC    int
+	sorter sortPoolSorter
 }
 
 // NewSortPool returns a sort-pooling layer producing K rows.
@@ -29,36 +35,68 @@ func NewSortPool(k int) *SortPool {
 	return &SortPool{K: k}
 }
 
+// SetWorkspace installs the scratch workspace the layer draws its output and
+// gradient matrices from.
+func (s *SortPool) SetWorkspace(ws *nn.Workspace) { s.ws = ws }
+
+// sortPoolSorter orders row indices by the channels-right-to-left descending
+// comparison of SortPooling. The row-index tiebreak makes the ordering a
+// strict total order, so the unstable sort.Sort yields exactly the
+// permutation the original sort.SliceStable produced.
+type sortPoolSorter struct {
+	z   *tensor.Matrix
+	idx []int
+}
+
+func (p *sortPoolSorter) Len() int      { return len(p.idx) }
+func (p *sortPoolSorter) Swap(a, b int) { p.idx[a], p.idx[b] = p.idx[b], p.idx[a] }
+
+// Less orders by decreasing last channel, ties broken by the next channel to
+// the left, repeating until all ties are broken (row index as the final
+// deterministic tiebreak).
+func (p *sortPoolSorter) Less(a, b int) bool {
+	ra, rb := p.z.Row(p.idx[a]), p.z.Row(p.idx[b])
+	for c := len(ra) - 1; c >= 0; c-- {
+		//lint:ignore floatcmp the comparator must order on exact bits; a tolerance would make sort order input-dependent
+		if ra[c] != rb[c] {
+			return ra[c] > rb[c]
+		}
+	}
+	return p.idx[a] < p.idx[b]
+}
+
 // Forward sorts, truncates/pads, and returns the K×D pooled matrix.
 func (s *SortPool) Forward(z *tensor.Matrix) *tensor.Matrix {
 	n, d := z.Rows, z.Cols
 	s.inN, s.inC = n, d
-	idx := make([]int, n)
+	if cap(s.sorter.idx) < n {
+		s.sorter.idx = make([]int, n)
+	}
+	s.sorter.idx = s.sorter.idx[:n]
+	idx := s.sorter.idx
 	for i := range idx {
 		idx[i] = i
 	}
-	// Decreasing order of the last channel; ties broken by the next
-	// channel to the left, repeating until all ties are broken (row
-	// index as the final deterministic tiebreak).
-	sort.SliceStable(idx, func(a, b int) bool {
-		ra, rb := z.Row(idx[a]), z.Row(idx[b])
-		for c := d - 1; c >= 0; c-- {
-			//lint:ignore floatcmp the comparator must order on exact bits; a tolerance would make sort order input-dependent
-			if ra[c] != rb[c] {
-				return ra[c] > rb[c]
-			}
-		}
-		return idx[a] < idx[b]
-	})
+	s.sorter.z = z
+	sort.Sort(&s.sorter)
 
-	out := tensor.New(s.K, d)
-	s.order = make([]int, s.K)
+	out := s.ws.Matrix(s.K, d)
+	if cap(s.order) < s.K {
+		s.order = make([]int, s.K)
+	}
+	s.order = s.order[:s.K]
 	for i := 0; i < s.K; i++ {
 		if i < n {
 			s.order[i] = idx[i]
 			copy(out.Row(i), z.Row(idx[i]))
 		} else {
-			s.order[i] = -1 // zero padding
+			s.order[i] = -1
+			// Padding rows must be written explicitly: workspace
+			// checkouts are dirty.
+			row := out.Row(i)
+			for c := range row {
+				row[c] = 0
+			}
 		}
 	}
 	return out
@@ -67,7 +105,8 @@ func (s *SortPool) Forward(z *tensor.Matrix) *tensor.Matrix {
 // Backward routes ∂L/∂Zsp rows back to their source vertices; padding rows
 // contribute nothing.
 func (s *SortPool) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	din := tensor.New(s.inN, s.inC)
+	din := s.ws.Matrix(s.inN, s.inC)
+	din.Zero() // the scatter below accumulates
 	for i, src := range s.order {
 		if src < 0 {
 			continue

@@ -135,6 +135,121 @@ func stopRequested(stop <-chan struct{}) bool {
 	}
 }
 
+// TrainSession is the reusable steady state of the training loop: the
+// engine, optimizer, shuffled order, task buffers and epoch counter behind
+// Train. Construction performs the one-time work (scaler fit, propagator
+// cache, replica pool); each RunEpoch then executes one full pass over the
+// training set without allocating — the property the alloc-pinning tests
+// and BenchmarkTrainEpoch enforce at Workers ≤ 1.
+//
+// A session drives one model and is not safe for concurrent use. Train is a
+// thin orchestration layer (validation, scheduling, early stopping,
+// observers) over this type.
+type TrainSession struct {
+	m       *Model
+	train   *dataset.Dataset
+	engine  *ParallelBatch
+	opt     nn.Optimizer
+	rng     *rand.Rand
+	props   []*graph.Propagator
+	order   []int
+	swap    func(i, j int) // hoisted shuffle closure: allocated once, reused every epoch
+	tasks   []sampleTask
+	results []sampleResult
+	stop    <-chan struct{}
+	epoch   int
+}
+
+// NewTrainSession fits the attribute scaler on train, builds the
+// data-parallel engine with opts.Workers replicas, and prepares the Adam
+// optimizer and per-epoch buffers. The model is ready for RunEpoch calls
+// (and the session's optimizer for external scheduling) on return.
+func NewTrainSession(m *Model, train *dataset.Dataset, opts TrainOptions) (*TrainSession, error) {
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	cfg := m.Config
+	m.SetScaler(FitScaler(acfgsOf(train)))
+
+	engine, err := NewParallelBatch(m, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &TrainSession{
+		m:       m,
+		train:   train,
+		engine:  engine,
+		opt:     nn.NewAdam(m.Params(), cfg.LearningRate, cfg.WeightDecay),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		props:   buildProps(train),
+		order:   make([]int, train.Len()),
+		tasks:   make([]sampleTask, 0, cfg.BatchSize),
+		results: make([]sampleResult, cfg.BatchSize),
+		stop:    opts.Stop,
+	}
+	for i := range s.order {
+		s.order[i] = i
+	}
+	s.swap = func(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+	return s, nil
+}
+
+// Epoch returns the zero-based index of the next epoch RunEpoch will run.
+func (s *TrainSession) Epoch() int { return s.epoch }
+
+// Optimizer exposes the session's optimizer for learning-rate scheduling.
+func (s *TrainSession) Optimizer() nn.Optimizer { return s.opt }
+
+// Model returns the session's model.
+func (s *TrainSession) Model() *Model { return s.m }
+
+// RunEpoch executes one full shuffled pass of mini-batch training and
+// returns the epoch's mean NLL and argmax accuracy over the training set.
+// Results are bit-identical at every worker count; cancellation via
+// TrainOptions.Stop surfaces as ErrCancelled.
+func (s *TrainSession) RunEpoch() (trainLoss, trainAcc float64, err error) {
+	cfg := s.m.Config
+	s.rng.Shuffle(len(s.order), s.swap)
+	trainHits := 0
+	for start := 0; start < len(s.order); start += cfg.BatchSize {
+		if stopRequested(s.stop) {
+			return 0, 0, ErrCancelled
+		}
+		end := start + cfg.BatchSize
+		if end > len(s.order) {
+			end = len(s.order)
+		}
+		s.tasks = s.tasks[:0]
+		for _, idx := range s.order[start:end] {
+			smp := s.train.Samples[idx]
+			s.tasks = append(s.tasks, sampleTask{
+				prop:  s.props[idx],
+				a:     smp.ACFG,
+				label: smp.Label,
+				// The dropout seed keys on the dataset index, not the
+				// batch position, so masks survive reshuffling intact.
+				seed: sampleSeed(cfg.Seed, s.epoch, idx),
+			})
+		}
+		batch := s.results[:len(s.tasks)]
+		if err := s.engine.TrainBatch(s.tasks, batch); err != nil {
+			return 0, 0, err
+		}
+		// Aggregate in slot order — fixed regardless of which worker
+		// produced which result.
+		for _, r := range batch {
+			trainLoss += r.loss
+			if r.hit {
+				trainHits++
+			}
+		}
+		stepBatch(s.opt, end-start)
+	}
+	s.epoch++
+	n := float64(s.train.Len())
+	return trainLoss / n, float64(trainHits) / n, nil
+}
+
 // Train fits the model on train, monitoring val (which may be nil). It fits
 // the attribute scaler, runs mini-batch Adam with the paper's
 // decay-on-plateau schedule, and restores the parameters of the epoch with
@@ -144,90 +259,37 @@ func stopRequested(stop <-chan struct{}) bool {
 // deterministic: for a fixed Config.Seed the loss curves and final
 // parameters are bit-identical at every worker count (see ParallelBatch).
 func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, error) {
-	if train.Len() == 0 {
-		return nil, fmt.Errorf("core: empty training set")
-	}
 	cfg := m.Config
-	m.SetScaler(FitScaler(acfgsOf(train)))
-
-	trainProps := buildProps(train)
-	var valProps []*graph.Propagator
-	if val != nil {
-		valProps = buildProps(val)
-	}
-
-	opt := nn.NewAdam(m.Params(), cfg.LearningRate, cfg.WeightDecay)
-	sched := nn.NewPlateauScheduler(opt)
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-
-	engine, err := NewParallelBatch(m, opts.Workers)
+	sess, err := NewTrainSession(m, train, opts)
 	if err != nil {
 		return nil, err
 	}
+	sched := nn.NewPlateauScheduler(sess.opt)
+	engine := sess.engine
+	opt := sess.opt
 
 	hist := &History{BestValLoss: -1}
 	var best []*tensor.Matrix
 	sinceBest := 0
 
-	order := make([]int, train.Len())
-	for i := range order {
-		order[i] = i
-	}
-
 	// Validation tasks are fixed across epochs; build them once.
 	var valTasks []sampleTask
 	var valResults []sampleResult
 	if val != nil && val.Len() > 0 {
+		valProps := buildProps(val)
 		valTasks = make([]sampleTask, val.Len())
 		valResults = make([]sampleResult, val.Len())
 		for i, s := range val.Samples {
 			valTasks[i] = sampleTask{prop: valProps[i], a: s.ACFG, label: s.Label}
 		}
 	}
-	tasks := make([]sampleTask, 0, cfg.BatchSize)
-	results := make([]sampleResult, cfg.BatchSize)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochTimer := obs.StartTimer()
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		trainLoss := 0.0
-		trainHits := 0
-		for start := 0; start < len(order); start += cfg.BatchSize {
-			if stopRequested(opts.Stop) {
-				return nil, ErrCancelled
-			}
-			end := start + cfg.BatchSize
-			if end > len(order) {
-				end = len(order)
-			}
-			tasks = tasks[:0]
-			for _, idx := range order[start:end] {
-				s := train.Samples[idx]
-				tasks = append(tasks, sampleTask{
-					prop:  trainProps[idx],
-					a:     s.ACFG,
-					label: s.Label,
-					// The dropout seed keys on the dataset index, not the
-					// batch position, so masks survive reshuffling intact.
-					seed: sampleSeed(cfg.Seed, epoch, idx),
-				})
-			}
-			batch := results[:len(tasks)]
-			if err := engine.TrainBatch(tasks, batch); err != nil {
-				return nil, err
-			}
-			// Aggregate in slot order — fixed regardless of which worker
-			// produced which result.
-			for _, r := range batch {
-				trainLoss += r.loss
-				if r.hit {
-					trainHits++
-				}
-			}
-			stepBatch(opt, end-start)
+		trainLoss, trainAcc, err := sess.RunEpoch()
+		if err != nil {
+			return nil, err
 		}
-		trainLoss /= float64(train.Len())
-		trainAcc := float64(trainHits) / float64(train.Len())
 		hist.TrainLoss = append(hist.TrainLoss, trainLoss)
 
 		monitor := trainLoss

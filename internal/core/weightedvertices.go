@@ -21,8 +21,11 @@ type WeightedVertices struct {
 	K int
 	W *nn.Param // 1×K row of vertex weights
 
+	ws *nn.Workspace
+
 	lastIn  *nn.Volume
 	lastPre []float64
+	dpre    []float64
 }
 
 // NewWeightedVertices builds the layer with uniform initial weights 1/k, a
@@ -36,6 +39,10 @@ func NewWeightedVertices(rng *rand.Rand, k int) *WeightedVertices {
 	return &WeightedVertices{K: k, W: nn.NewParam("weightedvertices.W", w)}
 }
 
+// SetWorkspace installs the scratch workspace the layer draws its output and
+// gradient volumes from.
+func (l *WeightedVertices) SetWorkspace(ws *nn.Workspace) { l.ws = ws }
+
 // Forward computes E = relu(W × Zsp).
 func (l *WeightedVertices) Forward(in *nn.Volume, _ bool) *nn.Volume {
 	if in.C != 1 || in.H != l.K {
@@ -43,7 +50,13 @@ func (l *WeightedVertices) Forward(in *nn.Volume, _ bool) *nn.Volume {
 	}
 	l.lastIn = in
 	d := in.W
-	pre := make([]float64, d)
+	if cap(l.lastPre) < d {
+		l.lastPre = make([]float64, d)
+	}
+	pre := l.lastPre[:d]
+	for c := range pre {
+		pre[c] = 0 // the loop below accumulates
+	}
 	for i := 0; i < l.K; i++ {
 		wi := l.W.Value.Data[i]
 		row := in.Data[i*d : (i+1)*d]
@@ -52,10 +65,12 @@ func (l *WeightedVertices) Forward(in *nn.Volume, _ bool) *nn.Volume {
 		}
 	}
 	l.lastPre = pre
-	out := nn.NewVolume(1, 1, d)
+	out := l.ws.Volume(1, 1, d)
 	for c, v := range pre {
 		if v > 0 {
 			out.Data[c] = v
+		} else {
+			out.Data[c] = 0
 		}
 	}
 	return out
@@ -65,13 +80,18 @@ func (l *WeightedVertices) Forward(in *nn.Volume, _ bool) *nn.Volume {
 // accumulating ∂L/∂W.
 func (l *WeightedVertices) Backward(dout *nn.Volume) *nn.Volume {
 	d := l.lastIn.W
-	dpre := make([]float64, d)
+	if cap(l.dpre) < d {
+		l.dpre = make([]float64, d)
+	}
+	dpre := l.dpre[:d]
 	for c, g := range dout.Data {
 		if l.lastPre[c] > 0 {
 			dpre[c] = g
+		} else {
+			dpre[c] = 0
 		}
 	}
-	din := nn.NewVolume(1, l.K, d)
+	din := l.ws.Volume(1, l.K, d)
 	for i := 0; i < l.K; i++ {
 		wi := l.W.Value.Data[i]
 		inRow := l.lastIn.Data[i*d : (i+1)*d]
@@ -89,4 +109,7 @@ func (l *WeightedVertices) Backward(dout *nn.Volume) *nn.Volume {
 // Params returns the vertex-weight parameter.
 func (l *WeightedVertices) Params() []*nn.Param { return []*nn.Param{l.W} }
 
-var _ nn.Layer = (*WeightedVertices)(nil)
+var (
+	_ nn.Layer         = (*WeightedVertices)(nil)
+	_ nn.WorkspaceUser = (*WeightedVertices)(nil)
+)

@@ -216,12 +216,24 @@ func (p *Propagator) N() int { return p.n }
 
 // Apply computes P·x for an n×c matrix x.
 func (p *Propagator) Apply(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(p.n, x.Cols)
+	p.ApplyInto(out, x)
+	return out
+}
+
+// ApplyInto computes dst = P·x for an n×c matrix x. dst must be n×c and may
+// hold garbage on entry (it is zeroed before accumulation); it must not
+// alias x.
+func (p *Propagator) ApplyInto(dst, x *tensor.Matrix) {
 	if x.Rows != p.n {
 		panic(fmt.Sprintf("graph: propagator n=%d applied to %d-row matrix", p.n, x.Rows))
 	}
-	out := tensor.New(p.n, x.Cols)
+	if dst.Rows != p.n || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("graph: propagator destination %dx%d, want %dx%d", dst.Rows, dst.Cols, p.n, x.Cols))
+	}
+	dst.Zero()
 	for i := 0; i < p.n; i++ {
-		orow := out.Row(i)
+		orow := dst.Row(i)
 		for k, j := range p.cols[i] {
 			w := p.vals[i][k]
 			xrow := x.Row(j)
@@ -230,27 +242,36 @@ func (p *Propagator) Apply(x *tensor.Matrix) *tensor.Matrix {
 			}
 		}
 	}
-	return out
 }
 
 // ApplyTranspose computes Pᵀ·x, needed to backpropagate gradients through
 // the convolution: if Y = P·X then ∂L/∂X = Pᵀ·(∂L/∂Y).
 func (p *Propagator) ApplyTranspose(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(p.n, x.Cols)
+	p.ApplyTransposeInto(out, x)
+	return out
+}
+
+// ApplyTransposeInto computes dst = Pᵀ·x under the same destination
+// contract as ApplyInto.
+func (p *Propagator) ApplyTransposeInto(dst, x *tensor.Matrix) {
 	if x.Rows != p.n {
 		panic(fmt.Sprintf("graph: propagator n=%d transpose-applied to %d-row matrix", p.n, x.Rows))
 	}
-	out := tensor.New(p.n, x.Cols)
+	if dst.Rows != p.n || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("graph: propagator destination %dx%d, want %dx%d", dst.Rows, dst.Cols, p.n, x.Cols))
+	}
+	dst.Zero()
 	for i := 0; i < p.n; i++ {
 		xrow := x.Row(i)
 		for k, j := range p.cols[i] {
 			w := p.vals[i][k]
-			orow := out.Row(j)
+			orow := dst.Row(j)
 			for c, v := range xrow {
 				orow[c] += w * v
 			}
 		}
 	}
-	return out
 }
 
 // Dense materializes P as a dense matrix, for tests and the paper's worked

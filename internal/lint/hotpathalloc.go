@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewHotPathAlloc builds the "hotpathalloc" analyzer. It guards the
+// zero-allocation training contract: after the workspace refactor, every
+// Forward and Backward in internal/core and internal/nn draws scratch from
+// the replica workspace and writes through the destination-passing *Into
+// kernels. A call to one of the allocating tensor/nn constructors inside
+// such a method reintroduces per-sample garbage that the alloc-pinning
+// tests will reject — this rule flags it at lint time, with the file and
+// call site, before a test has to bisect which layer regressed.
+//
+// Intentional allocations (a one-off cold path, a grow-once cache) are
+// suppressed in place with //lint:ignore hotpathalloc <reason>.
+func NewHotPathAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotpathalloc",
+		Doc:  "no allocating tensor/nn calls inside Forward/Backward in internal/core and internal/nn",
+		Run:  runHotPathAlloc,
+	}
+}
+
+// hotPathDirs are the packages whose Forward/Backward methods form the
+// per-sample training hot path.
+var hotPathDirs = []string{
+	"internal/core",
+	"internal/nn",
+}
+
+// allocCallees lists the allocating constructors and methods banned on the
+// hot path, as "pkgpath.Name" / "pkgpath.Type.Name" suffixes. Each has a
+// destination-passing or workspace-backed replacement.
+var allocCallees = []string{
+	"internal/tensor.New",
+	"internal/tensor.FromRows",
+	"internal/tensor.MustFromRows",
+	"internal/tensor.MatMul",
+	"internal/tensor.Add",
+	"internal/tensor.Sub",
+	"internal/tensor.Hadamard",
+	"internal/tensor.HConcat",
+	"internal/tensor.VConcat",
+	"internal/tensor.Matrix.Clone",
+	"internal/tensor.Matrix.T",
+	"internal/tensor.Matrix.Scale",
+	"internal/tensor.Matrix.Apply",
+	"internal/tensor.Matrix.Map",
+	"internal/tensor.Matrix.SliceCols",
+	"internal/tensor.Matrix.SliceRows",
+	"internal/tensor.Matrix.SelectRows",
+	"internal/graph.Propagator.Apply",
+	"internal/graph.Propagator.ApplyTranspose",
+	"internal/nn.NewVolume",
+	"internal/nn.VecVolume",
+	"internal/nn.MatrixVolume",
+	"internal/nn.Volume.Clone",
+	"internal/nn.Volume.Reshape",
+}
+
+func inHotPathScope(u *Unit) bool {
+	if u.Testdata {
+		return true
+	}
+	for _, d := range hotPathDirs {
+		if u.Rel == d || strings.HasPrefix(u.Rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeID renders a called function as "pkgpath.Name", or
+// "pkgpath.Type.Name" for methods, matching the allocCallees key format.
+func calleeID(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			return typeID(n) + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func runHotPathAlloc(u *Unit, rep *Reporter) {
+	if !inHotPathScope(u) {
+		return
+	}
+	for _, file := range u.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if name := fd.Name.Name; name != "Forward" && name != "Backward" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcObj(u.Info, call)
+				if fn == nil {
+					return true
+				}
+				id := calleeID(fn)
+				for _, bad := range allocCallees {
+					if id == bad || strings.HasSuffix(id, "/"+bad) {
+						rep.Report("hotpathalloc", call.Pos(),
+							"%s allocates inside %s; use a workspace checkout and the *Into kernels (or //lint:ignore hotpathalloc with a reason)",
+							shortCallee(bad), fd.Name.Name)
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// shortCallee trims the directory part of an allocCallees entry for the
+// message ("internal/tensor.Matrix.Clone" → "tensor.Matrix.Clone").
+func shortCallee(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}

@@ -114,6 +114,7 @@ func Suite() []*Analyzer {
 		NewErrCheck(),
 		NewReplicaCopy(),
 		NewFloatCmp(),
+		NewHotPathAlloc(),
 	}
 }
 

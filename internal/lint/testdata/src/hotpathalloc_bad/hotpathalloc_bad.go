@@ -1,0 +1,27 @@
+// Package hotpathalloc_bad is a magic-lint golden case for the
+// hotpathalloc rule. Expected findings: 5.
+package hotpathalloc_bad
+
+import (
+	"repro/internal/lint/testdata/src/hotpathalloc_bad/internal/nn"
+	"repro/internal/lint/testdata/src/hotpathalloc_bad/internal/tensor"
+)
+
+type Layer struct {
+	w *tensor.Matrix
+}
+
+// Forward allocates fresh matrices per sample instead of drawing from a
+// workspace: three findings.
+func (l *Layer) Forward(x *tensor.Matrix) *tensor.Matrix {
+	tmp := tensor.New(x.Rows, l.w.Cols) // constructor on the hot path
+	out := tensor.MatMul(tmp, l.w)      // allocating kernel
+	return out.Clone()                  // allocating method
+}
+
+// Backward does the same on the gradient path: two findings.
+func (l *Layer) Backward(d *tensor.Matrix) *tensor.Matrix {
+	scratch := nn.NewVolume(1, d.Rows, d.Cols) // allocating volume constructor
+	_ = scratch
+	return d.T() // allocating transpose
+}

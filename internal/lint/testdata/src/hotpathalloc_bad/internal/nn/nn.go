@@ -1,0 +1,12 @@
+// Package nn mimics the repo's nn volume API for the hotpathalloc golden
+// case; its import path ends in internal/nn so the rule's suffix match
+// treats it as the real package.
+package nn
+
+type Volume struct {
+	C, H, W int
+	Data    []float64
+}
+
+func NewVolume(c, h, w int) *Volume { return &Volume{C: c, H: h, W: w, Data: make([]float64, c*h*w)} }
+func (v *Volume) Clone() *Volume    { return NewVolume(v.C, v.H, v.W) }

@@ -1,0 +1,21 @@
+// Package tensor mimics the repo's tensor API for the hotpathalloc golden
+// case; its import path ends in internal/tensor so the rule's suffix match
+// treats it as the real package.
+package tensor
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func New(r, c int) *Matrix         { return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)} }
+func MatMul(a, b *Matrix) *Matrix  { return New(a.Rows, b.Cols) }
+func (m *Matrix) Clone() *Matrix   { return New(m.Rows, m.Cols) }
+func (m *Matrix) T() *Matrix       { return New(m.Cols, m.Rows) }
+func MatMulInto(dst, a, b *Matrix) {}
+func AddInto(dst, a, b *Matrix)    {}
+func TInto(dst, m *Matrix)         {}
+
+type Workspace struct{}
+
+func (ws *Workspace) Matrix(r, c int) *Matrix { return New(r, c) }

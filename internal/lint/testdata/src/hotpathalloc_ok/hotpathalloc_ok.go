@@ -1,0 +1,38 @@
+// Package hotpathalloc_ok is a magic-lint golden case: the sanctioned
+// hot-path idioms. Expected findings: 0.
+package hotpathalloc_ok
+
+import (
+	"repro/internal/lint/testdata/src/hotpathalloc_ok/internal/tensor"
+)
+
+type Layer struct {
+	w    *tensor.Matrix
+	ws   *tensor.Workspace
+	once *tensor.Matrix
+}
+
+// Forward draws every intermediate from the workspace and writes through
+// the destination-passing kernels — nothing to flag.
+func (l *Layer) Forward(x *tensor.Matrix) *tensor.Matrix {
+	f := l.ws.Matrix(x.Rows, l.w.Cols)
+	tensor.MatMulInto(f, x, l.w)
+	out := l.ws.Matrix(f.Rows, f.Cols)
+	tensor.AddInto(out, f, f)
+	return out
+}
+
+// Backward documents its one intentional allocation with a suppression.
+func (l *Layer) Backward(d *tensor.Matrix) *tensor.Matrix {
+	if l.once == nil {
+		//lint:ignore hotpathalloc grow-once cache, allocated on the first sample only
+		l.once = tensor.New(d.Rows, d.Cols)
+	}
+	return l.once
+}
+
+// NewLayer allocates freely — construction is not the hot path, and the
+// rule only inspects Forward and Backward bodies.
+func NewLayer(r, c int) *Layer {
+	return &Layer{w: tensor.New(r, c), ws: &tensor.Workspace{}}
+}

@@ -1,0 +1,16 @@
+// Package tensor mimics the repo's tensor API for the hotpathalloc golden
+// case (clean variant).
+package tensor
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func New(r, c int) *Matrix         { return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)} }
+func MatMulInto(dst, a, b *Matrix) {}
+func AddInto(dst, a, b *Matrix)    {}
+
+type Workspace struct{}
+
+func (ws *Workspace) Matrix(r, c int) *Matrix { return New(r, c) }

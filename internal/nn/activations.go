@@ -5,9 +5,16 @@ import (
 	"math/rand"
 )
 
+// The activation layers draw their outputs from the shared per-replica
+// Workspace when one is installed (SetWorkspace). Workspace buffers are
+// dirty on checkout, so every forward/backward below writes both branches
+// of its elementwise conditionals — relying on a zeroed destination would
+// leak the previous sample's activations into this one.
+
 // ReLU applies max(x, 0) elementwise — the nonlinearity f used in the
 // paper's graph-convolution walk-through (Figure 3).
 type ReLU struct {
+	wsHolder
 	lastIn *Volume
 }
 
@@ -17,10 +24,12 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward applies the rectifier.
 func (r *ReLU) Forward(in *Volume, _ bool) *Volume {
 	r.lastIn = in
-	out := NewVolume(in.C, in.H, in.W)
+	out := r.ws.Volume(in.C, in.H, in.W)
 	for i, v := range in.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -28,10 +37,12 @@ func (r *ReLU) Forward(in *Volume, _ bool) *Volume {
 
 // Backward gates the incoming gradient on the sign of the cached input.
 func (r *ReLU) Backward(dout *Volume) *Volume {
-	din := NewVolume(dout.C, dout.H, dout.W)
+	din := r.ws.Volume(dout.C, dout.H, dout.W)
 	for i, g := range dout.Data {
 		if r.lastIn.Data[i] > 0 {
 			din.Data[i] = g
+		} else {
+			din.Data[i] = 0
 		}
 	}
 	return din
@@ -46,6 +57,7 @@ func (r *ReLU) Params() []*Param { return nil }
 type LeakyReLU struct {
 	Alpha float64
 
+	wsHolder
 	lastIn *Volume
 }
 
@@ -61,7 +73,7 @@ func NewLeakyReLU(alpha float64) *LeakyReLU {
 // Forward applies the leaky rectifier.
 func (r *LeakyReLU) Forward(in *Volume, _ bool) *Volume {
 	r.lastIn = in
-	out := NewVolume(in.C, in.H, in.W)
+	out := r.ws.Volume(in.C, in.H, in.W)
 	for i, v := range in.Data {
 		if v > 0 {
 			out.Data[i] = v
@@ -74,7 +86,7 @@ func (r *LeakyReLU) Forward(in *Volume, _ bool) *Volume {
 
 // Backward scales the gradient by 1 or α depending on the input sign.
 func (r *LeakyReLU) Backward(dout *Volume) *Volume {
-	din := NewVolume(dout.C, dout.H, dout.W)
+	din := r.ws.Volume(dout.C, dout.H, dout.W)
 	for i, g := range dout.Data {
 		if r.lastIn.Data[i] > 0 {
 			din.Data[i] = g
@@ -90,6 +102,7 @@ func (r *LeakyReLU) Params() []*Param { return nil }
 
 // Tanh applies the hyperbolic tangent elementwise.
 type Tanh struct {
+	wsHolder
 	lastOut *Volume
 }
 
@@ -98,7 +111,7 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh.
 func (t *Tanh) Forward(in *Volume, _ bool) *Volume {
-	out := NewVolume(in.C, in.H, in.W)
+	out := t.ws.Volume(in.C, in.H, in.W)
 	for i, v := range in.Data {
 		out.Data[i] = math.Tanh(v)
 	}
@@ -108,7 +121,7 @@ func (t *Tanh) Forward(in *Volume, _ bool) *Volume {
 
 // Backward multiplies by 1 - tanh².
 func (t *Tanh) Backward(dout *Volume) *Volume {
-	din := NewVolume(dout.C, dout.H, dout.W)
+	din := t.ws.Volume(dout.C, dout.H, dout.W)
 	for i, g := range dout.Data {
 		y := t.lastOut.Data[i]
 		din.Data[i] = g * (1 - y*y)
@@ -122,6 +135,7 @@ func (t *Tanh) Params() []*Param { return nil }
 // Sigmoid applies the logistic function elementwise (used by the autoencoder
 // baseline).
 type Sigmoid struct {
+	wsHolder
 	lastOut *Volume
 }
 
@@ -130,7 +144,7 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward applies 1/(1+e^-x).
 func (s *Sigmoid) Forward(in *Volume, _ bool) *Volume {
-	out := NewVolume(in.C, in.H, in.W)
+	out := s.ws.Volume(in.C, in.H, in.W)
 	for i, v := range in.Data {
 		out.Data[i] = 1 / (1 + math.Exp(-v))
 	}
@@ -140,7 +154,7 @@ func (s *Sigmoid) Forward(in *Volume, _ bool) *Volume {
 
 // Backward multiplies by σ(1-σ).
 func (s *Sigmoid) Backward(dout *Volume) *Volume {
-	din := NewVolume(dout.C, dout.H, dout.W)
+	din := s.ws.Volume(dout.C, dout.H, dout.W)
 	for i, g := range dout.Data {
 		y := s.lastOut.Data[i]
 		din.Data[i] = g * y * (1 - y)
@@ -158,7 +172,17 @@ type Dropout struct {
 	Rate float64
 	rng  *rand.Rand
 
-	mask []bool
+	wsHolder
+	// priv is the layer-private mask stream installed by the first Reseed
+	// and re-seeded in place on later calls, so the trainer's per-sample
+	// reseeding allocates nothing in steady state. The rng shared at
+	// construction time is never re-seeded: sibling layers draw their
+	// weight initialization from it.
+	priv *rand.Rand
+	// mask is the persistent survivor mask, grown to the largest activation
+	// seen and fully rewritten on every training forward.
+	mask   []bool
+	masked bool
 }
 
 // NewDropout returns a Dropout layer with the given drop probability.
@@ -176,23 +200,35 @@ func NewDropout(rng *rand.Rand, rate float64) *Dropout {
 // happens to process the sample. This is the keystone of the data-parallel
 // trainer's parallel-equals-serial guarantee.
 func (d *Dropout) Reseed(seed int64) {
-	d.rng = rand.New(rand.NewSource(seed))
+	if d.priv == nil {
+		d.priv = rand.New(rand.NewSource(seed))
+	} else {
+		d.priv.Seed(seed)
+	}
+	d.rng = d.priv
 }
 
 // Forward applies the dropout mask during training and is the identity at
 // inference time.
 func (d *Dropout) Forward(in *Volume, train bool) *Volume {
 	if !train || d.Rate == 0 {
-		d.mask = nil
+		d.masked = false
 		return in
 	}
-	out := NewVolume(in.C, in.H, in.W)
-	d.mask = make([]bool, in.Len())
+	out := d.ws.Volume(in.C, in.H, in.W)
+	if cap(d.mask) < in.Len() {
+		d.mask = make([]bool, in.Len())
+	}
+	d.mask = d.mask[:in.Len()]
+	d.masked = true
 	scale := 1 / (1 - d.Rate)
 	for i, v := range in.Data {
 		if d.rng.Float64() >= d.Rate {
 			d.mask[i] = true
 			out.Data[i] = v * scale
+		} else {
+			d.mask[i] = false
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -200,14 +236,16 @@ func (d *Dropout) Forward(in *Volume, train bool) *Volume {
 
 // Backward routes gradients only through surviving activations.
 func (d *Dropout) Backward(dout *Volume) *Volume {
-	if d.mask == nil {
+	if !d.masked {
 		return dout
 	}
-	din := NewVolume(dout.C, dout.H, dout.W)
+	din := d.ws.Volume(dout.C, dout.H, dout.W)
 	scale := 1 / (1 - d.Rate)
 	for i, g := range dout.Data {
 		if d.mask[i] {
 			din.Data[i] = g * scale
+		} else {
+			din.Data[i] = 0
 		}
 	}
 	return din
@@ -217,9 +255,11 @@ func (d *Dropout) Backward(dout *Volume) *Volume {
 func (d *Dropout) Params() []*Param { return nil }
 
 var (
-	_ Layer = (*ReLU)(nil)
-	_ Layer = (*LeakyReLU)(nil)
-	_ Layer = (*Tanh)(nil)
-	_ Layer = (*Sigmoid)(nil)
-	_ Layer = (*Dropout)(nil)
+	_ Layer         = (*ReLU)(nil)
+	_ Layer         = (*LeakyReLU)(nil)
+	_ Layer         = (*Tanh)(nil)
+	_ Layer         = (*Sigmoid)(nil)
+	_ Layer         = (*Dropout)(nil)
+	_ WorkspaceUser = (*ReLU)(nil)
+	_ WorkspaceUser = (*Dropout)(nil)
 )

@@ -17,6 +17,7 @@ type Conv1D struct {
 	W                         *Param // OutC × (InC*Kernel)
 	B                         *Param // 1 × OutC
 
+	wsHolder
 	lastIn *Volume
 }
 
@@ -47,7 +48,7 @@ func (c *Conv1D) Forward(in *Volume, _ bool) *Volume {
 	}
 	c.lastIn = in
 	ow := c.OutWidth(in.W)
-	out := NewVolume(c.OutC, 1, ow)
+	out := c.ws.Volume(c.OutC, 1, ow)
 	for oc := 0; oc < c.OutC; oc++ {
 		w := c.W.Value.Row(oc)
 		bias := c.B.Value.At(0, oc)
@@ -70,7 +71,8 @@ func (c *Conv1D) Forward(in *Volume, _ bool) *Volume {
 // Backward accumulates filter/bias gradients and returns the input gradient.
 func (c *Conv1D) Backward(dout *Volume) *Volume {
 	in := c.lastIn
-	din := NewVolume(in.C, 1, in.W)
+	din := c.ws.Volume(in.C, 1, in.W)
+	din.Zero() // the scatter below accumulates
 	ow := dout.W
 	for oc := 0; oc < c.OutC; oc++ {
 		w := c.W.Value.Row(oc)
@@ -110,6 +112,7 @@ type Conv2D struct {
 	W         *Param // OutC × (InC*KH*KW)
 	B         *Param // 1 × OutC
 
+	wsHolder
 	lastIn *Volume
 }
 
@@ -145,7 +148,7 @@ func (c *Conv2D) Forward(in *Volume, _ bool) *Volume {
 	}
 	c.lastIn = in
 	oh, ow := c.OutDims(in.H, in.W)
-	out := NewVolume(c.OutC, oh, ow)
+	out := c.ws.Volume(c.OutC, oh, ow)
 	for oc := 0; oc < c.OutC; oc++ {
 		w := c.W.Value.Row(oc)
 		bias := c.B.Value.At(0, oc)
@@ -180,7 +183,8 @@ func (c *Conv2D) Forward(in *Volume, _ bool) *Volume {
 // Backward accumulates filter/bias gradients and returns the input gradient.
 func (c *Conv2D) Backward(dout *Volume) *Volume {
 	in := c.lastIn
-	din := NewVolume(in.C, in.H, in.W)
+	din := c.ws.Volume(in.C, in.H, in.W)
+	din.Zero() // the scatter below accumulates
 	for oc := 0; oc < c.OutC; oc++ {
 		w := c.W.Value.Row(oc)
 		gw := c.W.Grad.Row(oc)

@@ -65,4 +65,17 @@ func (s *Sequential) Params() []*Param {
 	return ps
 }
 
-var _ Layer = (*Sequential)(nil)
+// SetWorkspace propagates the scratch workspace to every contained layer
+// that can use one.
+func (s *Sequential) SetWorkspace(ws *Workspace) {
+	for _, l := range s.Layers {
+		if u, ok := l.(WorkspaceUser); ok {
+			u.SetWorkspace(ws)
+		}
+	}
+}
+
+var (
+	_ Layer         = (*Sequential)(nil)
+	_ WorkspaceUser = (*Sequential)(nil)
+)

@@ -15,6 +15,7 @@ type Linear struct {
 	W       *Param // In×Out
 	B       *Param // 1×Out
 
+	wsHolder
 	lastIn *Volume
 }
 
@@ -35,7 +36,7 @@ func (l *Linear) Forward(in *Volume, _ bool) *Volume {
 		panic(fmt.Sprintf("nn: linear expects %d inputs, got %d", l.In, in.Len()))
 	}
 	l.lastIn = in
-	out := NewVolume(1, 1, l.Out)
+	out := l.ws.Volume(1, 1, l.Out)
 	for j := 0; j < l.Out; j++ {
 		sum := l.B.Value.At(0, j)
 		for i, x := range in.Data {
@@ -53,7 +54,7 @@ func (l *Linear) Backward(dout *Volume) *Volume {
 		panic(fmt.Sprintf("nn: linear backward expects %d grads, got %d", l.Out, dout.Len()))
 	}
 	in := l.lastIn
-	din := NewVolume(in.C, in.H, in.W)
+	din := l.ws.Volume(in.C, in.H, in.W)
 	for i, x := range in.Data {
 		gRow := l.W.Grad.Row(i)
 		wRow := l.W.Value.Row(i)

@@ -11,23 +11,36 @@ func Softmax(logits []float64) []float64 {
 	if len(logits) == 0 {
 		return nil
 	}
+	out := make([]float64, len(logits))
+	SoftmaxInto(out, logits)
+	return out
+}
+
+// SoftmaxInto writes softmax(logits) into dst, which must have the same
+// length. Every element of dst is overwritten, so dirty scratch buffers are
+// valid destinations. dst may alias logits. Bit-identical to Softmax.
+func SoftmaxInto(dst, logits []float64) {
+	if len(dst) != len(logits) {
+		panic(fmt.Sprintf("nn: softmax destination length %d, want %d", len(dst), len(logits)))
+	}
+	if len(logits) == 0 {
+		return
+	}
 	maxV := logits[0]
 	for _, v := range logits[1:] {
 		if v > maxV {
 			maxV = v
 		}
 	}
-	out := make([]float64, len(logits))
 	sum := 0.0
 	for i, v := range logits {
 		e := math.Exp(v - maxV)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
 }
 
 // SoftmaxNLL computes the negative log-likelihood loss of Eq. 5 for one
@@ -36,19 +49,31 @@ func Softmax(logits []float64) []float64 {
 // to the logits (p - onehot(label)), which is what the model's Backward
 // consumes.
 func SoftmaxNLL(logits []float64, label int) (loss float64, probs, dlogits []float64) {
+	probs = make([]float64, len(logits))
+	dlogits = make([]float64, len(logits))
+	loss = SoftmaxNLLInto(logits, label, probs, dlogits)
+	return loss, probs, dlogits
+}
+
+// SoftmaxNLLInto is the destination-passing form of SoftmaxNLL: it fills the
+// caller-supplied probs and dlogits (both len(logits), fully overwritten) and
+// returns the loss. The training hot path reuses two persistent slices per
+// replica so the per-sample loss computation allocates nothing.
+func SoftmaxNLLInto(logits []float64, label int, probs, dlogits []float64) float64 {
 	if label < 0 || label >= len(logits) {
 		panic(fmt.Sprintf("nn: label %d out of range for %d classes", label, len(logits)))
 	}
-	probs = Softmax(logits)
+	if len(probs) != len(logits) || len(dlogits) != len(logits) {
+		panic(fmt.Sprintf("nn: softmax-nll scratch lengths %d/%d, want %d", len(probs), len(dlogits), len(logits)))
+	}
+	SoftmaxInto(probs, logits)
 	p := probs[label]
 	if p < 1e-15 {
 		p = 1e-15
 	}
-	loss = -math.Log(p)
-	dlogits = make([]float64, len(logits))
 	copy(dlogits, probs)
 	dlogits[label] -= 1
-	return loss, probs, dlogits
+	return -math.Log(p)
 }
 
 // NLLOfProbs returns -log p_label for an already-normalized probability

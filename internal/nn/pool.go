@@ -6,6 +6,7 @@ import "fmt"
 type MaxPool2D struct {
 	KH, KW, Stride int
 
+	wsHolder
 	lastIn  *Volume
 	argmax  []int // flat input index chosen per output element
 	lastOut *Volume
@@ -36,8 +37,8 @@ func (p *MaxPool2D) OutDims(h, w int) (int, int) {
 func (p *MaxPool2D) Forward(in *Volume, _ bool) *Volume {
 	p.lastIn = in
 	oh, ow := p.OutDims(in.H, in.W)
-	out := NewVolume(in.C, oh, ow)
-	p.argmax = make([]int, out.Len())
+	out := p.ws.Volume(in.C, oh, ow)
+	p.argmax = growInts(p.argmax, out.Len())
 	oi := 0
 	for c := 0; c < in.C; c++ {
 		for oy := 0; oy < oh; oy++ {
@@ -65,7 +66,8 @@ func (p *MaxPool2D) Forward(in *Volume, _ bool) *Volume {
 
 // Backward routes each gradient to the input element that won its window.
 func (p *MaxPool2D) Backward(dout *Volume) *Volume {
-	din := NewVolume(p.lastIn.C, p.lastIn.H, p.lastIn.W)
+	din := p.ws.Volume(p.lastIn.C, p.lastIn.H, p.lastIn.W)
+	din.Zero() // the scatter below accumulates
 	for oi, g := range dout.Data {
 		din.Data[p.argmax[oi]] += g
 	}
@@ -84,6 +86,7 @@ func (p *MaxPool2D) Params() []*Param { return nil }
 type AdaptiveMaxPool2D struct {
 	OutH, OutW int
 
+	wsHolder
 	lastIn *Volume
 	argmax []int
 }
@@ -125,8 +128,8 @@ func (p *AdaptiveMaxPool2D) Forward(in *Volume, _ bool) *Volume {
 		panic(fmt.Sprintf("nn: adaptive maxpool on empty input %dx%dx%d", in.C, in.H, in.W))
 	}
 	p.lastIn = in
-	out := NewVolume(in.C, p.OutH, p.OutW)
-	p.argmax = make([]int, out.Len())
+	out := p.ws.Volume(in.C, p.OutH, p.OutW)
+	p.argmax = growInts(p.argmax, out.Len())
 	oi := 0
 	for c := 0; c < in.C; c++ {
 		for oy := 0; oy < p.OutH; oy++ {
@@ -153,7 +156,8 @@ func (p *AdaptiveMaxPool2D) Forward(in *Volume, _ bool) *Volume {
 
 // Backward routes each gradient to the input element that won its window.
 func (p *AdaptiveMaxPool2D) Backward(dout *Volume) *Volume {
-	din := NewVolume(p.lastIn.C, p.lastIn.H, p.lastIn.W)
+	din := p.ws.Volume(p.lastIn.C, p.lastIn.H, p.lastIn.W)
+	din.Zero() // the scatter below accumulates
 	for oi, g := range dout.Data {
 		din.Data[p.argmax[oi]] += g
 	}
@@ -163,7 +167,18 @@ func (p *AdaptiveMaxPool2D) Backward(dout *Volume) *Volume {
 // Params returns nil: pooling has no trainable state.
 func (p *AdaptiveMaxPool2D) Params() []*Param { return nil }
 
+// growInts resizes s to length n, reusing its backing array when large
+// enough. Contents are undefined; every caller fully rewrites the slice.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 var (
-	_ Layer = (*MaxPool2D)(nil)
-	_ Layer = (*AdaptiveMaxPool2D)(nil)
+	_ Layer         = (*MaxPool2D)(nil)
+	_ Layer         = (*AdaptiveMaxPool2D)(nil)
+	_ WorkspaceUser = (*MaxPool2D)(nil)
+	_ WorkspaceUser = (*AdaptiveMaxPool2D)(nil)
 )

@@ -66,6 +66,13 @@ func (v *Volume) Set(c, h, w int, x float64) { v.Data[(c*v.H+h)*v.W+w] = x }
 // Len returns the total number of elements.
 func (v *Volume) Len() int { return len(v.Data) }
 
+// Zero sets every element of v to 0 in place.
+func (v *Volume) Zero() {
+	for i := range v.Data {
+		v.Data[i] = 0
+	}
+}
+
 // Clone returns a deep copy of v.
 func (v *Volume) Clone() *Volume {
 	out := NewVolume(v.C, v.H, v.W)

@@ -1,0 +1,111 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Workspace extends tensor.Workspace with a Volume free-list so layers can
+// check out scratch feature maps under the same lifetime rules: buffers are
+// dirty on checkout, owned until Reset, and recycled afterwards. One
+// Workspace serves one model replica; it is not safe for concurrent use.
+//
+// The nil Workspace is valid: every checkout allocates a fresh zeroed
+// buffer, so layers that were never handed a workspace (external callers,
+// the baseline package) keep the old allocating behavior unchanged.
+type Workspace struct {
+	tw *tensor.Workspace
+
+	freeVols map[int][]*Volume
+	usedVols []*Volume
+
+	checkouts uint64
+	bytes     uint64
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		tw:       tensor.NewWorkspace(),
+		freeVols: make(map[int][]*Volume),
+	}
+}
+
+// Matrix checks out a dirty r×c scratch matrix (see tensor.Workspace).
+func (w *Workspace) Matrix(r, c int) *tensor.Matrix {
+	if w == nil {
+		return tensor.New(r, c)
+	}
+	return w.tw.Matrix(r, c)
+}
+
+// Floats checks out a dirty []float64 of length n.
+func (w *Workspace) Floats(n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	return w.tw.Floats(n)
+}
+
+// Volume checks out a c×h×wd scratch volume with UNDEFINED contents. Like
+// matrices, volumes are keyed by element count: the header dimensions are
+// rewritten per checkout and only the backing array is recycled. A nil
+// workspace allocates a fresh zeroed volume.
+func (w *Workspace) Volume(c, h, wd int) *Volume {
+	if w == nil {
+		return NewVolume(c, h, wd)
+	}
+	w.checkouts++
+	n := c * h * wd
+	if list := w.freeVols[n]; len(list) > 0 {
+		v := list[len(list)-1]
+		w.freeVols[n] = list[:len(list)-1]
+		v.C, v.H, v.W = c, h, wd
+		w.usedVols = append(w.usedVols, v)
+		return v
+	}
+	v := NewVolume(c, h, wd)
+	w.bytes += uint64(8 * n)
+	w.usedVols = append(w.usedVols, v)
+	return v
+}
+
+// Reset returns every checked-out matrix, slice and volume to the free
+// lists, invalidating all buffers handed out since the previous Reset.
+func (w *Workspace) Reset() {
+	if w == nil {
+		return
+	}
+	w.tw.Reset()
+	for i, v := range w.usedVols {
+		w.freeVols[len(v.Data)] = append(w.freeVols[len(v.Data)], v)
+		w.usedVols[i] = nil
+	}
+	w.usedVols = w.usedVols[:0]
+}
+
+// Stats returns cumulative checkouts and owned bytes across the matrix,
+// float and volume pools.
+func (w *Workspace) Stats() tensor.WorkspaceStats {
+	if w == nil {
+		return tensor.WorkspaceStats{}
+	}
+	s := w.tw.Stats()
+	s.Checkouts += w.checkouts
+	s.Bytes += w.bytes
+	return s
+}
+
+// WorkspaceUser is implemented by layers (and layer containers) that can
+// draw scratch buffers from a shared per-replica workspace instead of
+// allocating per call.
+type WorkspaceUser interface {
+	SetWorkspace(ws *Workspace)
+}
+
+// wsHolder is the embeddable SetWorkspace implementation shared by the
+// package's layers. The zero value (nil workspace) preserves the layers'
+// original allocating behavior.
+type wsHolder struct {
+	ws *Workspace
+}
+
+// SetWorkspace installs the scratch workspace the layer draws from.
+func (h *wsHolder) SetWorkspace(ws *Workspace) { h.ws = ws }

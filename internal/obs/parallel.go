@@ -29,6 +29,39 @@ var (
 		"Cumulative time workers spent executing shards (summed across workers), by phase.", "phase")
 	parallelWorkers = Default().GaugeVec("magic_parallel_workers",
 		"Worker count most recently used by the data-parallel engine, by phase.", "phase")
+
+	workspaceCheckouts = Default().Gauge("magic_workspace_checkouts_total",
+		"Cumulative scratch-buffer checkouts across the batch engine's replica workspaces.")
+	workspaceBytes = Default().Gauge("magic_workspace_bytes",
+		"Scratch bytes owned by the batch engine's replica workspaces.")
+)
+
+// parallelPhase holds one phase's pre-resolved metric children. Vec.With
+// builds a label key per call; resolving the four known phases once keeps
+// the per-batch telemetry on the training hot path allocation-free.
+type parallelPhase struct {
+	duration *Histogram
+	batches  *Counter
+	samples  *Counter
+	busy     *Counter
+	workers  *Gauge
+}
+
+func resolvePhase(phase string) parallelPhase {
+	return parallelPhase{
+		duration: parallelBatchDuration.With(phase),
+		batches:  parallelBatchTotal.With(phase),
+		samples:  parallelSamplesTotal.With(phase),
+		busy:     parallelWorkerBusy.With(phase),
+		workers:  parallelWorkers.With(phase),
+	}
+}
+
+var (
+	phaseTrainMetrics    = resolvePhase(PhaseTrain)
+	phaseValidateMetrics = resolvePhase(PhaseValidate)
+	phasePredictMetrics  = resolvePhase(PhasePredict)
+	phaseExtractMetrics  = resolvePhase(PhaseExtract)
 )
 
 // ObserveParallelBatch records one completed data-parallel batch: its phase,
@@ -36,9 +69,29 @@ var (
 // wall-clock duration, and the summed busy time of all workers. Worker
 // utilization is derivable as busy / (workers × wall).
 func ObserveParallelBatch(phase string, workers, samples int, wall, busy time.Duration) {
-	parallelBatchDuration.With(phase).Observe(wall.Seconds())
-	parallelBatchTotal.With(phase).Inc()
-	parallelSamplesTotal.With(phase).Add(float64(samples))
-	parallelWorkerBusy.With(phase).Add(busy.Seconds())
-	parallelWorkers.With(phase).Set(float64(workers))
+	var pm parallelPhase
+	switch phase {
+	case PhaseTrain:
+		pm = phaseTrainMetrics
+	case PhaseValidate:
+		pm = phaseValidateMetrics
+	case PhasePredict:
+		pm = phasePredictMetrics
+	case PhaseExtract:
+		pm = phaseExtractMetrics
+	default:
+		pm = resolvePhase(phase)
+	}
+	pm.duration.Observe(wall.Seconds())
+	pm.batches.Inc()
+	pm.samples.Add(float64(samples))
+	pm.busy.Add(busy.Seconds())
+	pm.workers.Set(float64(workers))
+}
+
+// ObserveWorkspace publishes the batch engine's summed replica workspace
+// footprint: cumulative checkouts and currently owned scratch bytes.
+func ObserveWorkspace(checkouts, bytes uint64) {
+	workspaceCheckouts.Set(float64(checkouts))
+	workspaceBytes.Set(float64(bytes))
 }

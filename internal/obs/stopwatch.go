@@ -46,6 +46,18 @@ func (b *BusyMeter) Track() func() {
 	return func() { b.ns.Add(int64(sw.Elapsed())) }
 }
 
+// Add credits one already-measured span to the total. The allocation-free
+// alternative to Track for hot paths that hold a Stopwatch themselves.
+func (b *BusyMeter) Add(d time.Duration) {
+	b.ns.Add(int64(d))
+}
+
+// Reset clears the accumulated total so a meter embedded in a long-lived
+// engine can be reused per batch.
+func (b *BusyMeter) Reset() {
+	b.ns.Store(0)
+}
+
 // Total returns the accumulated busy time across all tracked spans.
 func (b *BusyMeter) Total() time.Duration {
 	return time.Duration(b.ns.Load())

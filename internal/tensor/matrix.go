@@ -97,12 +97,7 @@ func (m *Matrix) Fill(v float64) {
 // T returns the transpose of m as a new matrix.
 func (m *Matrix) T() *Matrix {
 	t := New(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			t.Data[j*t.Cols+i] = v
-		}
-	}
+	TInto(t, m)
 	return t
 }
 
@@ -114,20 +109,7 @@ func MatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: matmul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	// ikj loop order: streams through b and out rows for cache friendliness.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	MatMulInto(out, a, b)
 	return out
 }
 
@@ -135,9 +117,7 @@ func MatMul(a, b *Matrix) *Matrix {
 func Add(a, b *Matrix) *Matrix {
 	mustSameShape(a, b, "add")
 	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v + b.Data[i]
-	}
+	AddInto(out, a, b)
 	return out
 }
 
@@ -145,9 +125,7 @@ func Add(a, b *Matrix) *Matrix {
 func Sub(a, b *Matrix) *Matrix {
 	mustSameShape(a, b, "sub")
 	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v - b.Data[i]
-	}
+	SubInto(out, a, b)
 	return out
 }
 
@@ -155,9 +133,7 @@ func Sub(a, b *Matrix) *Matrix {
 func Hadamard(a, b *Matrix) *Matrix {
 	mustSameShape(a, b, "hadamard")
 	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v * b.Data[i]
-	}
+	HadamardInto(out, a, b)
 	return out
 }
 
@@ -188,9 +164,7 @@ func (m *Matrix) Apply(f func(float64) float64) *Matrix {
 // Map returns a new matrix whose elements are f applied to m's elements.
 func (m *Matrix) Map(f func(float64) float64) *Matrix {
 	out := New(m.Rows, m.Cols)
-	for i, v := range m.Data {
-		out.Data[i] = f(v)
-	}
+	MapInto(out, m, f)
 	return out
 }
 

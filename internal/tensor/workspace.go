@@ -1,0 +1,120 @@
+package tensor
+
+// Workspace is a free-list of scratch matrices and float slices for the
+// destination-passing kernels in into.go. The training hot path checks
+// buffers out per sample, fills them with *Into kernels, and returns
+// everything at once with Reset; after one warm-up pass over a dataset the
+// free lists hold every size the data produces and steady-state checkouts
+// perform zero heap allocations.
+//
+// Checked-out buffers are DIRTY: they hold whatever the previous user left
+// behind. Every consumer must either fully define the buffer (the *Into
+// kernel contract) or explicitly zero it before accumulating — the
+// differential fuzz tests exercise exactly this reuse pattern.
+//
+// A Workspace is owned by one goroutine (in the data-parallel engine, each
+// model replica owns its own) and is not safe for concurrent use. The nil
+// Workspace is valid and degrades gracefully: every checkout allocates a
+// fresh zeroed buffer, so workspace-free callers keep the old allocating
+// behavior.
+type Workspace struct {
+	// free lists are keyed by element count: a buffer checked out as 2×6
+	// can later serve a 3×4 request, since only the backing array is
+	// recycled and the header dimensions are rewritten per checkout.
+	free map[int][]*Matrix
+	used []*Matrix
+
+	freeFloats map[int][][]float64
+	usedFloats [][]float64
+
+	checkouts uint64
+	bytes     uint64 // bytes of float64 backing currently owned
+}
+
+// WorkspaceStats is a snapshot of a workspace's footprint: the cumulative
+// checkout count and the bytes of scratch backing it owns. Exported so the
+// parallel engine can sum replica workspaces into the magic_workspace_*
+// gauges.
+type WorkspaceStats struct {
+	Checkouts uint64
+	Bytes     uint64
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{
+		free:       make(map[int][]*Matrix),
+		freeFloats: make(map[int][][]float64),
+	}
+}
+
+// Matrix checks out an r×c scratch matrix with UNDEFINED contents. The
+// matrix belongs to the caller until the next Reset, after which both the
+// header and its backing array may be handed to someone else. A nil
+// workspace allocates a fresh zeroed matrix instead.
+func (w *Workspace) Matrix(r, c int) *Matrix {
+	if w == nil {
+		return New(r, c)
+	}
+	w.checkouts++
+	n := r * c
+	if list := w.free[n]; len(list) > 0 {
+		m := list[len(list)-1]
+		w.free[n] = list[:len(list)-1]
+		m.Rows, m.Cols = r, c
+		w.used = append(w.used, m)
+		return m
+	}
+	m := New(r, c)
+	w.bytes += uint64(8 * n)
+	w.used = append(w.used, m)
+	return m
+}
+
+// Floats checks out a dirty []float64 of length n under the same lifetime
+// rules as Matrix. A nil workspace allocates a fresh zeroed slice.
+func (w *Workspace) Floats(n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	w.checkouts++
+	if list := w.freeFloats[n]; len(list) > 0 {
+		s := list[len(list)-1]
+		w.freeFloats[n] = list[:len(list)-1]
+		w.usedFloats = append(w.usedFloats, s)
+		return s
+	}
+	s := make([]float64, n)
+	w.bytes += uint64(8 * n)
+	w.usedFloats = append(w.usedFloats, s)
+	return s
+}
+
+// Reset returns every checked-out buffer to the free lists. All matrices
+// and slices handed out since the previous Reset become invalid: their
+// contents may be overwritten by the next checkout. Nil workspaces are a
+// no-op.
+func (w *Workspace) Reset() {
+	if w == nil {
+		return
+	}
+	for i, m := range w.used {
+		w.free[len(m.Data)] = append(w.free[len(m.Data)], m)
+		w.used[i] = nil
+	}
+	w.used = w.used[:0]
+	for i, s := range w.usedFloats {
+		w.freeFloats[len(s)] = append(w.freeFloats[len(s)], s)
+		w.usedFloats[i] = nil
+	}
+	w.usedFloats = w.usedFloats[:0]
+}
+
+// Stats returns the workspace's cumulative checkout count and owned scratch
+// bytes. Nil workspaces report zeros.
+func (w *Workspace) Stats() WorkspaceStats {
+	if w == nil {
+		return WorkspaceStats{}
+	}
+	return WorkspaceStats{Checkouts: w.checkouts, Bytes: w.bytes}
+}
