@@ -1,0 +1,100 @@
+// Command magic-gateway fronts a fleet of magic-server backends with a
+// single serving endpoint: consistent-hash load balancing for uploads and
+// predictions, automatic failover when a backend dies, an
+// ACFG-content-hash prediction cache, and fleet-wide /v1/models fan-out
+// so blue/green promote and rollback hit every backend together. See
+// internal/gateway and DESIGN.md's "Fleet serving" section.
+//
+// Usage:
+//
+//	magic-gateway -addr :8090 -backends http://localhost:8081,http://localhost:8082
+//
+// The gateway is stateless apart from its in-memory cache: it can be
+// restarted freely, and because ring placement is derived from SHA-256
+// the restarted process routes every key exactly as before.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+)
+
+// shutdownTimeout bounds how long draining in-flight requests may take
+// once a termination signal arrives.
+const shutdownTimeout = 15 * time.Second
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "magic-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("magic-gateway", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	backendsFlag := fs.String("backends", "", "comma-separated magic-server base URLs (required)")
+	cacheSize := fs.Int("cache-size", gateway.DefaultCacheSize, "prediction cache capacity (entries)")
+	retries := fs.Int("retries", 0, "per-backend retry budget before failing over (0 = client default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *backendsFlag == "" {
+		return fmt.Errorf("need -backends")
+	}
+	backends := strings.Split(*backendsFlag, ",")
+
+	gw, err := gateway.New(gateway.Options{
+		Backends:   backends,
+		CacheSize:  *cacheSize,
+		MaxRetries: *retries,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	log.Printf("MAGIC gateway listening on %s over %d backends, metrics at /metrics", *addr, len(backends))
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	log.Printf("shutdown: draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	if errors.Is(shutdownErr, context.DeadlineExceeded) {
+		log.Printf("shutdown: drain timed out; closing remaining connections")
+		shutdownErr = nil
+	}
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	log.Printf("shutdown: clean exit")
+	return nil
+}

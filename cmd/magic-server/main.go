@@ -74,7 +74,9 @@ func run(args []string) error {
 	demoSamples := fs.Int("demo-samples", 150, "demo corpus size")
 	epochs := fs.Int("epochs", 12, "default training epochs")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
-	workers := fs.Int("workers", 0, "prediction replica pool size and training workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "inference and training worker count (0 = GOMAXPROCS)")
+	batchMax := fs.Int("batch-max", service.DefaultBatchMaxSize, "max samples coalesced into one prediction batch")
+	batchWait := fs.Duration("batch-wait", service.DefaultBatchMaxWait, "max time a prediction waits for batch companions (0 disables the window)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,6 +99,7 @@ func run(args []string) error {
 	if err := srv.SetParallelism(*workers); err != nil {
 		return err
 	}
+	srv.SetBatching(*batchMax, *batchWait)
 
 	haveModel := false
 	if *stateDir != "" {

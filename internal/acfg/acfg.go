@@ -6,9 +6,12 @@
 package acfg
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
@@ -105,6 +108,37 @@ func New(g *graph.Directed, attrs *tensor.Matrix) (*ACFG, error) {
 
 // NumVertices returns the vertex count n.
 func (a *ACFG) NumVertices() int { return a.Graph.N() }
+
+// ContentHash returns a canonical SHA-256 digest of the ACFG: vertex
+// count, every edge in (source, sorted-successor) order, and the raw bits
+// of the attribute matrix. Two ACFGs describing the same graph with the
+// same attributes hash identically regardless of how they were built or
+// serialized, which is what makes the digest usable as a cache and dedup
+// key — the same binary resubmitted by many endpoints is one entry.
+func (a *ACFG) ContentHash() [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeUint := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	n := a.Graph.N()
+	writeUint(uint64(n))
+	for u := 0; u < n; u++ {
+		for _, v := range a.Graph.Succ(u) {
+			writeUint(uint64(u))
+			writeUint(uint64(v))
+		}
+	}
+	writeUint(uint64(a.Attrs.Rows))
+	writeUint(uint64(a.Attrs.Cols))
+	for _, v := range a.Attrs.Data {
+		writeUint(math.Float64bits(v))
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
 
 // jsonACFG is the serialized form.
 type jsonACFG struct {

@@ -31,6 +31,14 @@ type Model struct {
 	Config Config
 	K      int // resolved sort-pooling size (0 in adaptive mode)
 
+	// Version is an opaque deployment identifier stamped by the serving
+	// tier when the model is registered for traffic (see
+	// internal/service's model registry). It travels with checkpoints so a
+	// restarted server resumes serving under the same version, and it has
+	// no influence on the numerics — two models with different versions
+	// and equal Fingerprint() produce bit-identical predictions.
+	Version string
+
 	conv     *GraphConvStack
 	sort     *SortPool
 	head     *nn.Sequential

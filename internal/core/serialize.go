@@ -1,9 +1,13 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 )
@@ -12,15 +16,16 @@ import (
 // architecture), the resolved k, the scaler and every parameter tensor in
 // Params() order.
 type savedModel struct {
-	Config Config      `json:"config"`
-	K      int         `json:"k"`
-	Scaler *Scaler     `json:"scaler,omitempty"`
-	Params [][]float64 `json:"params"`
+	Config  Config      `json:"config"`
+	K       int         `json:"k"`
+	Version string      `json:"version,omitempty"`
+	Scaler  *Scaler     `json:"scaler,omitempty"`
+	Params  [][]float64 `json:"params"`
 }
 
 // Save serializes the model as JSON to w.
 func (m *Model) Save(w io.Writer) error {
-	sm := savedModel{Config: m.Config, K: m.K, Scaler: m.scaler}
+	sm := savedModel{Config: m.Config, K: m.K, Version: m.Version, Scaler: m.scaler}
 	for _, p := range m.params {
 		row := make([]float64, len(p.Value.Data))
 		copy(row, p.Value.Data)
@@ -92,7 +97,35 @@ func Load(r io.Reader) (*Model, error) {
 		copy(m.params[i].Value.Data, vals)
 	}
 	m.scaler = sm.Scaler
+	m.Version = sm.Version
 	return m, nil
+}
+
+// Fingerprint returns a hex SHA-256 digest over the model's architecture
+// and every parameter value, in Params() order. Two models with equal
+// fingerprints are numerically interchangeable: they produce bit-identical
+// predictions for every input. The serving tier uses it to tell model
+// versions apart by content rather than by label.
+func (m *Model) Fingerprint() string {
+	h := sha256.New()
+	cfgBytes, err := json.Marshal(m.Config)
+	if err != nil {
+		// Config is a plain struct of scalars and slices; Marshal cannot
+		// fail on it. Guard anyway so a future field can't silently corrupt
+		// the digest.
+		panic(fmt.Sprintf("core: fingerprint config: %v", err))
+	}
+	_, _ = h.Write(cfgBytes)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(m.K))
+	_, _ = h.Write(buf[:])
+	for _, p := range m.params {
+		for _, v := range p.Value.Data {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			_, _ = h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // LoadFile reads a model from path.

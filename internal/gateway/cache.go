@@ -1,0 +1,100 @@
+package gateway
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// DefaultCacheSize bounds the prediction cache when Options leaves it
+// unset. Entries are small (one JSON predict response each), so a few
+// thousand costs single-digit megabytes.
+const DefaultCacheSize = 4096
+
+// predictionCache is a bounded LRU keyed by ACFG content hash. Every
+// entry was produced by one model version; the cache tracks the version
+// it believes the fleet is serving and flushes wholesale when that
+// changes (promote or rollback), because a cached answer from version A
+// is simply wrong under version B. The canonical SHA-256 key means the
+// same binary resubmitted by any endpoint — or re-encoded with different
+// JSON field order — is a single entry.
+type predictionCache struct {
+	mu      sync.Mutex
+	cap     int
+	version string                              // model version the entries belong to
+	entries map[[sha256.Size]byte]*list.Element // value: *cacheEntry
+	order   *list.List                          // front = most recently used
+}
+
+// cacheEntry is one cached predict response body.
+type cacheEntry struct {
+	key  [sha256.Size]byte
+	body []byte
+}
+
+func newPredictionCache(capacity int) *predictionCache {
+	if capacity < 1 {
+		capacity = DefaultCacheSize
+	}
+	return &predictionCache{
+		cap:     capacity,
+		entries: make(map[[sha256.Size]byte]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// lookup returns the cached response for key, marking it most recently
+// used. The returned slice is shared — callers must not mutate it.
+func (c *predictionCache) lookup(key [sha256.Size]byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// store inserts (or refreshes) key's response, evicting the least
+// recently used entry when full.
+func (c *predictionCache) store(key [sha256.Size]byte, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// setVersion records the model version the fleet is serving. A change
+// flushes every entry — they were computed by the outgoing version — and
+// reports true so the caller can update telemetry.
+func (c *predictionCache) setVersion(version string) bool {
+	if version == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version == version {
+		return false
+	}
+	c.version = version
+	c.entries = make(map[[sha256.Size]byte]*list.Element)
+	c.order.Init()
+	return true
+}
+
+// len reports the current entry count.
+func (c *predictionCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,77 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func cacheKey(i int) [sha256.Size]byte {
+	return sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newPredictionCache(3)
+	for i := 0; i < 3; i++ {
+		c.store(cacheKey(i), []byte{byte(i)})
+	}
+	// Touch key 0 so key 1 is the least recently used.
+	if _, ok := c.lookup(cacheKey(0)); !ok {
+		t.Fatal("key 0 missing")
+	}
+	c.store(cacheKey(3), []byte{3})
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	if _, ok := c.lookup(cacheKey(1)); ok {
+		t.Fatal("LRU key 1 should have been evicted")
+	}
+	for _, i := range []int{0, 2, 3} {
+		body, ok := c.lookup(cacheKey(i))
+		if !ok || body[0] != byte(i) {
+			t.Fatalf("key %d: body=%v ok=%v", i, body, ok)
+		}
+	}
+}
+
+func TestCacheStoreRefreshesExisting(t *testing.T) {
+	c := newPredictionCache(2)
+	c.store(cacheKey(1), []byte{1})
+	c.store(cacheKey(1), []byte{9})
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	body, ok := c.lookup(cacheKey(1))
+	if !ok || body[0] != 9 {
+		t.Fatalf("refreshed body = %v ok=%v", body, ok)
+	}
+}
+
+// TestCacheVersionFlush checks the invalidation contract: a model version
+// change wipes every entry, same version is a no-op.
+func TestCacheVersionFlush(t *testing.T) {
+	c := newPredictionCache(10)
+	if c.setVersion("mv-000001") != true {
+		t.Fatal("first version should flush (vacuously)")
+	}
+	c.store(cacheKey(1), []byte{1})
+	c.store(cacheKey(2), []byte{2})
+	if c.setVersion("mv-000001") {
+		t.Fatal("same version must not flush")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if !c.setVersion("mv-000002") {
+		t.Fatal("new version must flush")
+	}
+	if c.len() != 0 {
+		t.Fatalf("len after flush = %d, want 0", c.len())
+	}
+	if _, ok := c.lookup(cacheKey(1)); ok {
+		t.Fatal("stale entry survived version flush")
+	}
+	if c.setVersion("") {
+		t.Fatal("empty version must be ignored")
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import "sync"
+
+// GatewayMetrics publishes telemetry for magic-gateway, the fleet serving
+// tier in front of N magic-server backends: per-backend traffic and
+// failure accounting, ring failovers, the ACFG-content-hash prediction
+// cache, and the model version the fleet is currently serving.
+type GatewayMetrics struct {
+	backendRequests *CounterVec   // backend, endpoint
+	backendErrors   *CounterVec   // backend, endpoint
+	backendLatency  *HistogramVec // backend
+	backendUp       *GaugeVec     // backend
+	failovers       *Counter
+	cacheHits       *Counter
+	cacheMisses     *Counter
+	cacheEntries    *Gauge
+	activeInfo      *GaugeVec // version
+
+	mu            sync.Mutex // orders the old-0/new-1 flip of activeInfo
+	activeVersion string
+}
+
+// NewGatewayMetrics registers the gateway metric families on r.
+// Registration is idempotent, like all registry calls.
+func NewGatewayMetrics(r *Registry) *GatewayMetrics {
+	return &GatewayMetrics{
+		backendRequests: r.CounterVec("magic_gateway_backend_requests_total",
+			"Requests the gateway issued to each backend, by endpoint.",
+			"backend", "endpoint"),
+		backendErrors: r.CounterVec("magic_gateway_backend_errors_total",
+			"Backend calls that failed (connection error or 5xx), by endpoint.",
+			"backend", "endpoint"),
+		backendLatency: r.HistogramVec("magic_gateway_backend_latency_seconds",
+			"Latency of gateway-to-backend calls, by backend.",
+			DefBuckets, "backend"),
+		backendUp: r.GaugeVec("magic_gateway_backend_up",
+			"1 when the most recent health probe of the backend succeeded, else 0.",
+			"backend"),
+		failovers: r.Counter("magic_gateway_failovers_total",
+			"Requests re-routed to the next ring node after a backend failure."),
+		cacheHits: r.Counter("magic_gateway_cache_hits_total",
+			"Predictions served from the ACFG-content-hash cache."),
+		cacheMisses: r.Counter("magic_gateway_cache_misses_total",
+			"Predictions that missed the cache and cost a backend inference."),
+		cacheEntries: r.Gauge("magic_gateway_cache_entries",
+			"Entries currently held by the prediction cache."),
+		activeInfo: r.GaugeVec("magic_gateway_model_version_info",
+			"1 for the model version the gateway believes the fleet is serving, 0 for versions seen earlier.",
+			"version"),
+	}
+}
+
+// ObserveBackendCall records one gateway-to-backend call.
+func (m *GatewayMetrics) ObserveBackendCall(backend, endpoint string, seconds float64, failed bool) {
+	m.backendRequests.With(backend, endpoint).Inc()
+	m.backendLatency.With(backend).Observe(seconds)
+	if failed {
+		m.backendErrors.With(backend, endpoint).Inc()
+	}
+}
+
+// SetBackendUp records the outcome of a backend health probe.
+func (m *GatewayMetrics) SetBackendUp(backend string, up bool) {
+	v := 0.0
+	if up {
+		v = 1
+	}
+	m.backendUp.With(backend).Set(v)
+}
+
+// Failover counts one re-route to the next ring node.
+func (m *GatewayMetrics) Failover() { m.failovers.Inc() }
+
+// CacheHit counts one prediction served from the cache.
+func (m *GatewayMetrics) CacheHit() { m.cacheHits.Inc() }
+
+// CacheMiss counts one prediction that had to reach a backend.
+func (m *GatewayMetrics) CacheMiss() { m.cacheMisses.Inc() }
+
+// SetCacheEntries reports the cache's current entry count.
+func (m *GatewayMetrics) SetCacheEntries(n int) { m.cacheEntries.Set(float64(n)) }
+
+// SetActiveVersion flips the model-version info gauge to version.
+func (m *GatewayMetrics) SetActiveVersion(version string) {
+	if version == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.activeVersion == version {
+		return
+	}
+	if m.activeVersion != "" {
+		m.activeInfo.With(m.activeVersion).Set(0)
+	}
+	m.activeVersion = version
+	m.activeInfo.With(version).Set(1)
+}

@@ -1,0 +1,65 @@
+package obs
+
+import "sync"
+
+// ServingMetrics publishes telemetry for the server's prediction serving
+// path: the admission queue that coalesces concurrent /v1/predict requests
+// into batches for the model's batched inference engine, and the versioned
+// model registry behind /v1/models (blue/green promote, instant rollback).
+type ServingMetrics struct {
+	batchSize     *Histogram
+	batches       *Counter
+	modelVersions *Gauge
+	swaps         *CounterVec // kind
+	activeInfo    *GaugeVec   // version
+
+	mu            sync.Mutex // orders the old-0/new-1 flip of activeInfo
+	activeVersion string
+}
+
+// NewServingMetrics registers the serving metric families on r.
+// Registration is idempotent, like all registry calls.
+func NewServingMetrics(r *Registry) *ServingMetrics {
+	m := &ServingMetrics{
+		batchSize: r.Histogram("magic_predict_batch_size",
+			"Coalesced /v1/predict batch sizes handed to the batched inference engine.",
+			[]float64{1, 2, 4, 8, 16, 32, 64}),
+		batches: r.Counter("magic_predict_batches_total",
+			"Batches executed by the prediction admission queue."),
+		modelVersions: r.Gauge("magic_model_versions",
+			"Model versions currently retained in the registry."),
+		swaps: r.CounterVec("magic_model_swaps_total",
+			"Serving-model swaps, by kind (install, promote or rollback).", "kind"),
+		activeInfo: r.GaugeVec("magic_model_active_version_info",
+			"1 for the model version currently serving predictions, 0 for retained inactive versions.",
+			"version"),
+	}
+	return m
+}
+
+// ObserveBatch records one executed prediction batch of the given size.
+func (m *ServingMetrics) ObserveBatch(size int) {
+	m.batches.Inc()
+	m.batchSize.Observe(float64(size))
+}
+
+// Swapped records a serving-model swap to version. kind is "install"
+// (a freshly trained or loaded model taking traffic), "promote" (operator
+// blue/green switch) or "rollback". retained is the registry's current
+// version count.
+func (m *ServingMetrics) Swapped(kind, version string, retained int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.swaps.With(kind).Inc()
+	m.modelVersions.Set(float64(retained))
+	if m.activeVersion != "" && m.activeVersion != version {
+		m.activeInfo.With(m.activeVersion).Set(0)
+	}
+	m.activeVersion = version
+	m.activeInfo.With(version).Set(1)
+}
+
+// SetRetained updates the retained-version count without a swap (eviction).
+func (m *ServingMetrics) SetRetained(retained int) {
+	m.modelVersions.Set(float64(retained))
+}

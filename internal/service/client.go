@@ -68,6 +68,32 @@ func (c *Client) HealthContext(ctx context.Context) error {
 	return err
 }
 
+// HealthStatus is the decoded /healthz payload.
+type HealthStatus struct {
+	Status        string `json:"status"`
+	ModelVersion  string `json:"model_version,omitempty"`
+	CorpusSamples int    `json:"corpus_samples"`
+}
+
+// HealthInfo fetches the full health payload: liveness plus the serving
+// model version and corpus size.
+func (c *Client) HealthInfo() (*HealthStatus, error) {
+	return c.HealthInfoContext(context.Background())
+}
+
+// HealthInfoContext is HealthInfo bounded by ctx.
+func (c *Client) HealthInfoContext(ctx context.Context) (*HealthStatus, error) {
+	raw, err := c.do(ctx, http.MethodGet, "/healthz", nil, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	var hs HealthStatus
+	if err := json.Unmarshal(raw, &hs); err != nil {
+		return nil, fmt.Errorf("service client: decode health: %w", err)
+	}
+	return &hs, nil
+}
+
 // AddSampleASM uploads one labeled disassembly listing.
 func (c *Client) AddSampleASM(family, name, asmText string) error {
 	return c.AddSampleASMContext(context.Background(), family, name, asmText)
@@ -210,9 +236,10 @@ type Prediction = prediction
 
 // PredictResult is a classification response.
 type PredictResult struct {
-	Family      string       `json:"family"`
-	Blocks      int          `json:"blocks"`
-	Predictions []Prediction `json:"predictions"`
+	Family       string       `json:"family"`
+	Blocks       int          `json:"blocks"`
+	ModelVersion string       `json:"modelVersion,omitempty"`
+	Predictions  []Prediction `json:"predictions"`
 }
 
 // PredictASM classifies a disassembly listing.
@@ -245,6 +272,52 @@ func (c *Client) predict(ctx context.Context, body sampleBody) (*PredictResult, 
 		return nil, fmt.Errorf("service client: decode prediction: %w", err)
 	}
 	return &res, nil
+}
+
+// ListModels fetches the retained model versions, the active one and the
+// rollback target.
+func (c *Client) ListModels(ctx context.Context) (*ModelsInfo, error) {
+	raw, err := c.do(ctx, http.MethodGet, "/v1/models", nil, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	return decodeModelsInfo(raw)
+}
+
+// PromoteModel switches serving traffic to a retained version (blue/green)
+// and returns the resulting registry state.
+func (c *Client) PromoteModel(ctx context.Context, version string) (*ModelsInfo, error) {
+	raw, err := c.do(ctx, http.MethodPost, "/v1/models",
+		modelsBody{Action: "promote", Version: version}, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	return decodeModelsInfo(raw)
+}
+
+// RollbackModel instantly restores the previously active model version.
+func (c *Client) RollbackModel(ctx context.Context) (*ModelsInfo, error) {
+	raw, err := c.do(ctx, http.MethodPost, "/v1/models",
+		modelsBody{Action: "rollback"}, http.StatusOK)
+	if err != nil {
+		return nil, err
+	}
+	return decodeModelsInfo(raw)
+}
+
+func decodeModelsInfo(raw []byte) (*ModelsInfo, error) {
+	var info ModelsInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		return nil, fmt.Errorf("service client: decode models: %w", err)
+	}
+	return &info, nil
+}
+
+// Forward issues a pre-encoded JSON payload to path, expecting wantStatus,
+// under the client's usual retry policy. magic-gateway uses it to proxy
+// request bodies verbatim without a decode/re-encode round trip.
+func (c *Client) Forward(ctx context.Context, method, path string, payload []byte, wantStatus int) ([]byte, error) {
+	return c.doRaw(ctx, method, path, payload, wantStatus)
 }
 
 // Stats fetches the per-family corpus counts.
@@ -284,10 +357,7 @@ func (c *Client) retryBudget() (retries int, backoff time.Duration) {
 }
 
 // do issues one JSON request (body nil for bodyless methods) and returns
-// the response bytes when the status matches wantStatus. Connection
-// errors and 503 responses are retried with exponential backoff up to the
-// client's retry budget; any other status short-circuits with the
-// server's error message. Context cancellation is never retried.
+// the response bytes when the status matches wantStatus.
 func (c *Client) do(ctx context.Context, method, path string, body any, wantStatus int) ([]byte, error) {
 	var payload []byte
 	if body != nil {
@@ -296,6 +366,15 @@ func (c *Client) do(ctx context.Context, method, path string, body any, wantStat
 			return nil, fmt.Errorf("service client: encode: %w", err)
 		}
 	}
+	return c.doRaw(ctx, method, path, payload, wantStatus)
+}
+
+// doRaw is do with a pre-encoded payload. Connection errors and 503
+// responses are retried with exponential backoff up to the client's retry
+// budget; any other status short-circuits with the server's error message
+// as an *APIError. Context cancellation is never retried: a cancelled
+// context aborts immediately, even mid-backoff.
+func (c *Client) doRaw(ctx context.Context, method, path string, payload []byte, wantStatus int) ([]byte, error) {
 	retries, backoff := c.retryBudget()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -316,11 +395,28 @@ func (c *Client) do(ctx context.Context, method, path string, body any, wantStat
 		if attempt >= retries {
 			return nil, lastErr
 		}
-		select {
-		case <-ctx.Done():
-			return nil, fmt.Errorf("service client: %s %s: %w", method, path, ctx.Err())
-		case <-time.After(backoff << attempt):
+		if err := sleepBackoff(ctx, backoff<<attempt); err != nil {
+			return nil, fmt.Errorf("service client: %s %s: %w", method, path, err)
 		}
+	}
+}
+
+// sleepBackoff blocks for d or until ctx is cancelled, whichever comes
+// first, returning the context's error in the latter case. An
+// already-cancelled context returns immediately without arming a timer,
+// and the timer is always stopped — a retry loop under a cancelled
+// context neither sleeps out its backoff nor leaks timers.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 
@@ -349,12 +445,31 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, payload []b
 	return buf.Bytes(), resp.StatusCode, nil
 }
 
+// APIError is a response whose status did not match the caller's
+// expectation. Callers that care which status came back — like the
+// gateway, which relays a backend's 4xx to its own client instead of
+// failing over — unwrap it with errors.As.
+type APIError struct {
+	Path    string
+	Status  int
+	Message string // the server's JSON error message, when one was sent
+	Body    []byte // the raw response body
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("service client: %s: %s (status %d)", e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("service client: %s: status %d", e.Path, e.Status)
+}
+
 // statusError shapes an unexpected-status error, surfacing the server's
 // JSON error message when one was sent.
 func statusError(path string, raw []byte, status int) error {
-	var e errorResponse
-	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-		return fmt.Errorf("service client: %s: %s (status %d)", path, e.Error, status)
+	e := &APIError{Path: path, Status: status, Body: raw}
+	var body errorResponse
+	if json.Unmarshal(raw, &body) == nil {
+		e.Message = body.Error
 	}
-	return fmt.Errorf("service client: %s: status %d", path, status)
+	return e
 }

@@ -236,7 +236,7 @@ func (s *Server) runTrainJob(job *trainJob, cfg core.Config, train *dataset.Data
 	}
 
 	s.mu.Lock()
-	installErr := s.installModelLocked(m)
+	installErr := s.installModelLocked(m, "train")
 	var ckptErr error
 	if installErr == nil && s.store != nil {
 		ckptErr = s.store.SaveModel(m)

@@ -13,14 +13,19 @@
 //	GET    /v1/train/{id}   training-job status and per-epoch progress
 //	DELETE /v1/train/{id}   cooperative job cancellation
 //	POST   /v1/predict      classify one sample     {asm|acfg} → ranked families
+//	GET    /v1/models       retained model versions, active + rollback target
+//	POST   /v1/models       {action: promote|rollback} blue/green model swap
 //
 // State is in memory, guarded by a single mutex, and optionally durable:
 // AttachStore gives the server a state directory whose corpus WAL and
 // model checkpoint are replayed on startup (see Store). Training runs as
 // an asynchronous job (one at a time) while predictions against the
-// previous model keep serving. Predictions run concurrently on a pool of
-// model replicas sharing the installed model's weights (core.Predictor);
-// SetParallelism sizes the pool and the training worker count.
+// previous model keep serving. Completed models enter a bounded version
+// registry (see registry.go); the active version serves /v1/predict
+// through an admission queue that coalesces concurrent requests into
+// batches for the model's data-parallel inference engine (see batcher.go).
+// SetParallelism sizes the inference worker count and the training worker
+// count; SetBatching tunes the admission queue.
 //
 // Every endpoint is instrumented through obs.HTTPMetrics (request counts,
 // in-flight gauge, latency histograms, all labeled by route), training
@@ -30,6 +35,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +45,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/acfg"
@@ -71,25 +78,37 @@ type Server struct {
 	// model checkpoint). See AttachStore.
 	store *Store
 
-	// predictor serves /v1/predict from a pool of model replicas sharing
-	// the installed model's weights, so concurrent requests no longer
-	// serialize on one model's per-sample forward caches. It is rebuilt
-	// whenever a model is installed (LoadModel or training completion).
-	predictor *core.Predictor
+	// Versioned model registry (registry.go): every installed model is
+	// retained under a version ID so an operator can blue/green promote or
+	// instantly roll back via /v1/models. serving is the lock-free read
+	// path for /v1/predict — an atomic snapshot of the active version and
+	// its admission-queue batcher, swapped whole on promote/rollback so a
+	// request never observes a mix of versions.
+	serving       atomic.Pointer[servingState]
+	versions      map[string]*modelVersion
+	versionOrder  []string // registration order, oldest first
+	activeVersion string
+	prevVersion   string // rollback target
+	modelSeq      int
 
-	// parallelism is the worker count for training batches and the predict
-	// replica pool. 0 selects runtime.GOMAXPROCS.
+	// Admission-queue tuning for new serving states (SetBatching).
+	batchMaxSize int
+	batchMaxWait time.Duration
+
+	// parallelism is the worker count for training batches and batched
+	// inference. 0 selects runtime.GOMAXPROCS.
 	parallelism int
 
 	now func() time.Time
 
-	registry     *obs.Registry
-	httpMetrics  *obs.HTTPMetrics
-	trainMetrics *obs.TrainingMetrics
-	jobMetrics   *obs.TrainJobMetrics
-	predictions  *obs.CounterVec // family
-	corpusSize   *obs.GaugeVec   // family
-	modelParams  *obs.Gauge
+	registry       *obs.Registry
+	httpMetrics    *obs.HTTPMetrics
+	trainMetrics   *obs.TrainingMetrics
+	jobMetrics     *obs.TrainJobMetrics
+	servingMetrics *obs.ServingMetrics
+	predictions    *obs.CounterVec // family
+	corpusSize     *obs.GaugeVec   // family
+	modelParams    *obs.Gauge
 }
 
 // New builds a server for a fixed family universe. cfgTemplate supplies the
@@ -125,17 +144,21 @@ func NewWithRegistry(families []string, cfgTemplate core.Config, reg *obs.Regist
 		return nil, fmt.Errorf("service: %w", err)
 	}
 	return &Server{
-		cfgTemplate: cfgTemplate,
-		families:    families,
-		labelOf:     labelOf,
-		corpus:      dataset.New(families),
-		jobs:        make(map[string]*trainJob),
-		now:         time.Now,
+		cfgTemplate:  cfgTemplate,
+		families:     families,
+		labelOf:      labelOf,
+		corpus:       dataset.New(families),
+		jobs:         make(map[string]*trainJob),
+		versions:     make(map[string]*modelVersion),
+		batchMaxSize: DefaultBatchMaxSize,
+		batchMaxWait: DefaultBatchMaxWait,
+		now:          time.Now,
 
-		registry:     reg,
-		httpMetrics:  obs.NewHTTPMetrics(reg),
-		trainMetrics: obs.NewTrainingMetrics(reg),
-		jobMetrics:   obs.NewTrainJobMetrics(reg),
+		registry:       reg,
+		httpMetrics:    obs.NewHTTPMetrics(reg),
+		trainMetrics:   obs.NewTrainingMetrics(reg),
+		jobMetrics:     obs.NewTrainJobMetrics(reg),
+		servingMetrics: obs.NewServingMetrics(reg),
 		predictions: reg.CounterVec("magic_predictions_total",
 			"Predictions served, by top-ranked family.", "family"),
 		corpusSize: reg.GaugeVec("magic_corpus_samples",
@@ -149,18 +172,40 @@ func NewWithRegistry(families []string, cfgTemplate core.Config, reg *obs.Regist
 // want to mount or inspect it directly.
 func (s *Server) Metrics() *obs.Registry { return s.registry }
 
-// SetParallelism sets the worker count used for training batches and the
-// size of the predict replica pool. n < 1 selects runtime.GOMAXPROCS. When
-// a model is already installed its predictor pool is rebuilt at the new
-// size.
+// SetParallelism sets the worker count used for training batches and
+// batched inference. n < 1 selects runtime.GOMAXPROCS. Serving snapshots
+// of every retained model version are rebuilt at the new width; in-flight
+// predictions finish on the snapshot they started with.
 func (s *Server) SetParallelism(n int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.parallelism = n
-	if s.model != nil {
-		return s.installModelLocked(s.model)
-	}
+	s.rebuildServingLocked()
 	return nil
+}
+
+// SetBatching tunes the prediction admission queue: a batch never exceeds
+// maxSize samples (< 1 selects DefaultBatchMaxSize) and a request waits at
+// most maxWait for companions (0 disables the window, < 0 selects
+// DefaultBatchMaxWait). Applies to every retained version immediately.
+func (s *Server) SetBatching(maxSize int, maxWait time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batchMaxSize = maxSize
+	s.batchMaxWait = maxWait
+	s.rebuildServingLocked()
+}
+
+// rebuildServingLocked rebuilds every retained version's serving snapshot
+// under the current parallelism and batching configuration, re-pointing
+// the active snapshot. Callers hold s.mu.
+func (s *Server) rebuildServingLocked() {
+	for _, mv := range s.versions {
+		mv.state = s.buildServingStateLocked(mv.model)
+	}
+	if mv, ok := s.versions[s.activeVersion]; ok {
+		s.serving.Store(mv.state)
+	}
 }
 
 // workersLocked resolves the configured parallelism; callers hold s.mu.
@@ -179,20 +224,16 @@ func (s *Server) LoadModel(m *core.Model) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.installModelLocked(m)
+	return s.installModelLocked(m, "load")
 }
 
-// installModelLocked makes m the serving model and builds its replica pool;
-// callers hold s.mu.
-func (s *Server) installModelLocked(m *core.Model) error {
-	pred, err := core.NewPredictor(m, s.workersLocked())
-	if err != nil {
-		return fmt.Errorf("service: build predictor pool: %w", err)
-	}
-	s.model = m
-	s.predictor = pred
-	s.trainedAt = s.now()
-	s.modelParams.Set(float64(m.NumParameters()))
+// installModelLocked registers m as a new version under the given source
+// tag ("train", "load" or "checkpoint") and makes it the serving model;
+// callers hold s.mu. The error return is kept for call-site symmetry —
+// registration itself cannot fail.
+func (s *Server) installModelLocked(m *core.Model, source string) error {
+	mv := s.registerModelLocked(m, source)
+	s.promoteLocked(mv.version, "install")
 	return nil
 }
 
@@ -213,6 +254,8 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/train/{id}", "/v1/train/{id}", s.handleTrainStatus)
 	handle("DELETE /v1/train/{id}", "/v1/train/{id}", s.handleTrainCancel)
 	handle("POST /v1/predict", "/v1/predict", s.handlePredict)
+	handle("GET /v1/models", "/v1/models", s.handleModels)
+	handle("POST /v1/models", "/v1/models", s.handleModelsPost)
 	return mux
 }
 
@@ -238,17 +281,34 @@ type prediction struct {
 }
 
 type predictResponse struct {
-	Family      string       `json:"family"`
-	Blocks      int          `json:"blocks"`
-	Predictions []prediction `json:"predictions"`
+	Family       string       `json:"family"`
+	Blocks       int          `json:"blocks"`
+	ModelVersion string       `json:"modelVersion,omitempty"`
+	Predictions  []prediction `json:"predictions"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// healthzResponse is the /healthz payload. ModelVersion is empty until a
+// model is serving; the gateway uses it to learn the fleet's active
+// version, and operators get a one-call liveness + readiness view.
+type healthzResponse struct {
+	Status        string `json:"status"`
+	ModelVersion  string `json:"model_version,omitempty"`
+	CorpusSamples int    `json:"corpus_samples"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.mu.Lock()
+	resp := healthzResponse{
+		Status:        "ok",
+		ModelVersion:  s.activeVersion,
+		CorpusSamples: s.corpus.Len(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
@@ -334,14 +394,24 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	pred := s.predictor
-	s.mu.Unlock()
-	if pred == nil {
+	// Lock-free snapshot: the request is pinned to one model version for
+	// its whole life, however many promotes or rollbacks land meanwhile.
+	sv := s.serving.Load()
+	if sv == nil {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no model trained yet"))
 		return
 	}
-	probs := pred.Predict(a)
+	probs, err := sv.batch.predict(r.Context(), a)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client went away while the request was queued; 499-style
+			// semantics, but stick to a standard code.
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
 	preds := make([]prediction, len(probs))
 	for i, p := range probs {
 		preds[i] = prediction{Family: s.families[i], Probability: p}
@@ -349,9 +419,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	sort.SliceStable(preds, func(i, j int) bool { return preds[i].Probability > preds[j].Probability })
 	s.predictions.With(preds[0].Family).Inc()
 	writeJSON(w, http.StatusOK, predictResponse{
-		Family:      preds[0].Family,
-		Blocks:      a.NumVertices(),
-		Predictions: preds,
+		Family:       preds[0].Family,
+		Blocks:       a.NumVertices(),
+		ModelVersion: sv.version,
+		Predictions:  preds,
 	})
 }
 

@@ -218,7 +218,7 @@ func (s *Server) AttachStore(st *Store) (replayed int, modelLoaded bool, err err
 			return replayed, false, fmt.Errorf("service: checkpointed model has %d classes, server has %d families",
 				m.Config.Classes, len(s.families))
 		}
-		if err := s.installModelLocked(m); err != nil {
+		if err := s.installModelLocked(m, "checkpoint"); err != nil {
 			return replayed, false, err
 		}
 		modelLoaded = true
