@@ -56,10 +56,15 @@ type Model struct {
 	dlogits []float64
 
 	// Cached prediction engine for PredictBatch (see parallel.go).
+	// predProps/predTasks are the engine's recycled per-call scratch: each
+	// cached Propagator is Rebuilt in place for the batch's graphs, so a
+	// steady-state PredictBatch allocates only the result slices.
 	predictMu   sync.Mutex
 	predEngine  *ParallelBatch
 	predWorkers int
 	predScaler  *Scaler
+	predProps   []*graph.Propagator
+	predTasks   []sampleTask
 }
 
 // emptyProp is the shared single-vertex propagation operator used for
@@ -219,7 +224,12 @@ func (m *Model) SetScaler(s *Scaler) { m.scaler = s }
 func (m *Model) Scaler() *Scaler { return m.scaler }
 
 // Forward computes class logits for one ACFG. train enables dropout.
+//
+// This is the one-shot convenience entry point; callers on the per-sample
+// hot path (the trainer, PredictBatch) hold cached propagators and go
+// through forwardProp directly.
 func (m *Model) Forward(a *acfg.ACFG, train bool) []float64 {
+	//lint:ignore hotpathalloc one-shot convenience API; hot-path callers pass cached propagators to forwardProp
 	return m.forwardProp(graph.NewPropagator(a.Graph), a, train)
 }
 

@@ -398,12 +398,22 @@ func (m *Model) PredictBatch(as []*acfg.ACFG, workers int) ([][]float64, error) 
 		}
 		m.predEngine, m.predWorkers, m.predScaler = e, workers, m.scaler
 	}
-	tasks := make([]sampleTask, len(as))
+	// Recycle the cached propagators: Rebuild re-derives each CSR in place,
+	// so after a warm-up batch the only per-call allocations left are the
+	// caller-owned result slices.
+	for len(m.predProps) < len(as) {
+		m.predProps = append(m.predProps, graph.NewPropagator(graph.NewDirected(0)))
+	}
+	if cap(m.predTasks) < len(as) {
+		m.predTasks = make([]sampleTask, 0, len(as))
+	}
+	m.predTasks = m.predTasks[:len(as)]
 	for i, a := range as {
-		tasks[i] = sampleTask{prop: graph.NewPropagator(a.Graph), a: a}
+		m.predProps[i].Rebuild(a.Graph)
+		m.predTasks[i] = sampleTask{prop: m.predProps[i], a: a}
 	}
 	out := make([][]float64, len(as))
-	if err := m.predEngine.predictAll(tasks, out); err != nil {
+	if err := m.predEngine.predictAll(m.predTasks, out); err != nil {
 		return nil, err
 	}
 	return out, nil

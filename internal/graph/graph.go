@@ -164,136 +164,56 @@ func (g *Directed) ReachableFrom(start int) int {
 	return len(g.BFSOrder(start))
 }
 
-// Propagator precomputes the sparse normalized operator P = D̄⁻¹Ā for a
-// graph so that graph convolutions can evaluate P·X without materializing
-// dense n×n matrices. Each row i of P holds 1/D̄ᵢᵢ at column i (self loop)
-// and at every successor column.
+// Propagator is the sparse normalized operator P = D̄⁻¹Ā for one graph, so
+// that graph convolutions can evaluate P·X without materializing dense n×n
+// matrices. It is a thin façade over a CSR (see csr.go), retained so every
+// historical call site — trainer, model, tests — keeps working while the
+// kernels live in one place. A built Propagator is safe for concurrent
+// readers; Rebuild is not.
 type Propagator struct {
-	n    int
-	cols [][]int     // columns with nonzero entries per row, sorted
-	vals [][]float64 // corresponding values
+	csr *CSR
 }
 
 // NewPropagator builds the propagation operator for g.
 func NewPropagator(g *Directed) *Propagator {
-	p := &Propagator{
-		n:    g.n,
-		cols: make([][]int, g.n),
-		vals: make([][]float64, g.n),
-	}
-	for u := 0; u < g.n; u++ {
-		succ := g.Succ(u)
-		// Build Ā row: self + successors, dedup self loop.
-		cols := make([]int, 0, len(succ)+1)
-		weights := make([]float64, 0, len(succ)+1)
-		selfWeight := 1.0
-		for _, v := range succ {
-			if v == u {
-				selfWeight++ // explicit self loop stacks with the identity term
-				continue
-			}
-			cols = append(cols, v)
-			weights = append(weights, 1)
-		}
-		cols = append(cols, u)
-		weights = append(weights, selfWeight)
-		sort.Sort(&colSorter{cols: cols, vals: weights})
-		deg := 0.0
-		for _, w := range weights {
-			deg += w
-		}
-		for i := range weights {
-			weights[i] /= deg
-		}
-		p.cols[u] = cols
-		p.vals[u] = weights
-	}
-	return p
+	return &Propagator{csr: NewCSR(g)}
 }
 
 // N returns the number of vertices the propagator operates on.
-func (p *Propagator) N() int { return p.n }
+func (p *Propagator) N() int { return p.csr.n }
+
+// CSR exposes the backing sparse operator.
+func (p *Propagator) CSR() *CSR { return p.csr }
+
+// Rebuild re-derives the operator from g in place, reusing the backing
+// arrays (see CSR.Rebuild). It lets long-lived prediction engines recycle
+// one Propagator across samples without reallocating.
+func (p *Propagator) Rebuild(g *Directed) { p.csr.Rebuild(g) }
 
 // Apply computes P·x for an n×c matrix x.
 func (p *Propagator) Apply(x *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(p.n, x.Cols)
-	p.ApplyInto(out, x)
+	out := tensor.New(p.csr.n, x.Cols)
+	p.csr.SpMMInto(out, x)
 	return out
 }
 
 // ApplyInto computes dst = P·x for an n×c matrix x. dst must be n×c and may
 // hold garbage on entry (it is zeroed before accumulation); it must not
 // alias x.
-func (p *Propagator) ApplyInto(dst, x *tensor.Matrix) {
-	if x.Rows != p.n {
-		panic(fmt.Sprintf("graph: propagator n=%d applied to %d-row matrix", p.n, x.Rows))
-	}
-	if dst.Rows != p.n || dst.Cols != x.Cols {
-		panic(fmt.Sprintf("graph: propagator destination %dx%d, want %dx%d", dst.Rows, dst.Cols, p.n, x.Cols))
-	}
-	dst.Zero()
-	for i := 0; i < p.n; i++ {
-		orow := dst.Row(i)
-		for k, j := range p.cols[i] {
-			w := p.vals[i][k]
-			xrow := x.Row(j)
-			for c, v := range xrow {
-				orow[c] += w * v
-			}
-		}
-	}
-}
+func (p *Propagator) ApplyInto(dst, x *tensor.Matrix) { p.csr.SpMMInto(dst, x) }
 
 // ApplyTranspose computes Pᵀ·x, needed to backpropagate gradients through
 // the convolution: if Y = P·X then ∂L/∂X = Pᵀ·(∂L/∂Y).
 func (p *Propagator) ApplyTranspose(x *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(p.n, x.Cols)
-	p.ApplyTransposeInto(out, x)
+	out := tensor.New(p.csr.n, x.Cols)
+	p.csr.SpMMTInto(out, x)
 	return out
 }
 
 // ApplyTransposeInto computes dst = Pᵀ·x under the same destination
 // contract as ApplyInto.
-func (p *Propagator) ApplyTransposeInto(dst, x *tensor.Matrix) {
-	if x.Rows != p.n {
-		panic(fmt.Sprintf("graph: propagator n=%d transpose-applied to %d-row matrix", p.n, x.Rows))
-	}
-	if dst.Rows != p.n || dst.Cols != x.Cols {
-		panic(fmt.Sprintf("graph: propagator destination %dx%d, want %dx%d", dst.Rows, dst.Cols, p.n, x.Cols))
-	}
-	dst.Zero()
-	for i := 0; i < p.n; i++ {
-		xrow := x.Row(i)
-		for k, j := range p.cols[i] {
-			w := p.vals[i][k]
-			orow := dst.Row(j)
-			for c, v := range xrow {
-				orow[c] += w * v
-			}
-		}
-	}
-}
+func (p *Propagator) ApplyTransposeInto(dst, x *tensor.Matrix) { p.csr.SpMMTInto(dst, x) }
 
 // Dense materializes P as a dense matrix, for tests and the paper's worked
 // examples.
-func (p *Propagator) Dense() *tensor.Matrix {
-	m := tensor.New(p.n, p.n)
-	for i := 0; i < p.n; i++ {
-		for k, j := range p.cols[i] {
-			m.Set(i, j, p.vals[i][k])
-		}
-	}
-	return m
-}
-
-type colSorter struct {
-	cols []int
-	vals []float64
-}
-
-func (s *colSorter) Len() int           { return len(s.cols) }
-func (s *colSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
-func (s *colSorter) Swap(i, j int) {
-	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
-	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
-}
+func (p *Propagator) Dense() *tensor.Matrix { return p.csr.Dense() }

@@ -55,7 +55,14 @@ var allocCallees = []string{
 	"internal/tensor.Matrix.SelectRows",
 	"internal/graph.Propagator.Apply",
 	"internal/graph.Propagator.ApplyTranspose",
+	"internal/graph.Propagator.Dense",
+	"internal/graph.NewPropagator",
+	"internal/graph.NewCSR",
+	"internal/graph.CSR.Dense",
+	"internal/tensor.NewMatrix32",
+	"internal/tensor.NewMatrix32From",
 	"internal/nn.NewVolume",
+	"internal/nn.NewVolume32",
 	"internal/nn.VecVolume",
 	"internal/nn.MatrixVolume",
 	"internal/nn.Volume.Clone",

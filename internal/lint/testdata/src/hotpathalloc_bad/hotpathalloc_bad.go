@@ -1,8 +1,9 @@
 // Package hotpathalloc_bad is a magic-lint golden case for the
-// hotpathalloc rule. Expected findings: 5.
+// hotpathalloc rule. Expected findings: 7.
 package hotpathalloc_bad
 
 import (
+	"repro/internal/lint/testdata/src/hotpathalloc_bad/internal/graph"
 	"repro/internal/lint/testdata/src/hotpathalloc_bad/internal/nn"
 	"repro/internal/lint/testdata/src/hotpathalloc_bad/internal/tensor"
 )
@@ -24,4 +25,17 @@ func (l *Layer) Backward(d *tensor.Matrix) *tensor.Matrix {
 	scratch := nn.NewVolume(1, d.Rows, d.Cols) // allocating volume constructor
 	_ = scratch
 	return d.T() // allocating transpose
+}
+
+type GraphLayer struct {
+	csr *graph.CSR
+}
+
+// Forward rebuilds the adjacency operator per sample instead of reusing a
+// cached one through Rebuild: two findings.
+func (l *GraphLayer) Forward(g *graph.Directed, x *tensor.Matrix) *tensor.Matrix {
+	csr := graph.NewCSR(g) // allocating operator build on the hot path
+	out := csr.Dense()     // densifying the sparse operator
+	csr.SpMMInto(out, x)
+	return out
 }

@@ -141,7 +141,37 @@ func (c *Conv2D) OutDims(h, w int) (int, int) {
 	return oh, ow
 }
 
+// tapRange returns the half-open range [lo, hi) of output positions whose
+// receptive-field tap k lands inside [0, inDim), i.e. the o for which
+// 0 ≤ o·stride - pad + k < inDim. Replacing the oracle loop's per-element
+// bounds test with this clamp skips exactly the same (o, k) pairs.
+func tapRange(stride, pad, k, inDim, outDim int) (int, int) {
+	lo := 0
+	if pad > k {
+		lo = (pad - k + stride - 1) / stride
+	}
+	hi := outDim
+	if m := inDim - 1 - k + pad; m < 0 {
+		hi = lo
+	} else if h := m/stride + 1; h < outDim {
+		hi = h
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
 // Forward performs the cross-correlation.
+//
+// The loops run tap-major — (oc, ic, ky, kx) outer, output position inner —
+// so the innermost loop streams contiguously through one input row and one
+// output row instead of gathering a receptive field per output cell. The
+// per-cell arithmetic is unchanged from the reference nesting: every output
+// cell still accumulates bias first, then its in-bounds taps in ascending
+// (ic, ky, kx) order, because the tap loops are ordered exactly so and each
+// tap visits every cell before the next tap runs. Bit-for-bit equality with
+// the old gather loop is what keeps the trainer's golden checksum stable.
 func (c *Conv2D) Forward(in *Volume, _ bool) *Volume {
 	if in.C != c.InC {
 		panic(fmt.Sprintf("nn: conv2d expects %d channels, got %d", c.InC, in.C))
@@ -149,68 +179,211 @@ func (c *Conv2D) Forward(in *Volume, _ bool) *Volume {
 	c.lastIn = in
 	oh, ow := c.OutDims(in.H, in.W)
 	out := c.ws.Volume(c.OutC, oh, ow)
+	inHW := in.H * in.W
+	ohw := oh * ow
 	for oc := 0; oc < c.OutC; oc++ {
 		w := c.W.Value.Row(oc)
 		bias := c.B.Value.At(0, oc)
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				sy := oy*c.Stride - c.Pad
-				sx := ox*c.Stride - c.Pad
-				sum := bias
-				for ic := 0; ic < c.InC; ic++ {
-					for ky := 0; ky < c.KH; ky++ {
-						y := sy + ky
-						if y < 0 || y >= in.H {
-							continue
-						}
-						wOff := (ic*c.KH + ky) * c.KW
-						for kx := 0; kx < c.KW; kx++ {
-							x := sx + kx
-							if x < 0 || x >= in.W {
-								continue
-							}
-							sum += w[wOff+kx] * in.At(ic, y, x)
+		outCh := out.Data[oc*ohw : (oc+1)*ohw]
+		for i := range outCh {
+			outCh[i] = bias
+		}
+		for ic := 0; ic < c.InC; ic++ {
+			inCh := in.Data[ic*inHW : (ic+1)*inHW]
+			if c.Stride == 1 {
+				c.forwardStride1(in, inCh, w[ic*c.KH*c.KW:(ic+1)*c.KH*c.KW], outCh, oh, ow)
+				continue
+			}
+			for ky := 0; ky < c.KH; ky++ {
+				oyLo, oyHi := tapRange(c.Stride, c.Pad, ky, in.H, oh)
+				wRow := w[(ic*c.KH+ky)*c.KW : (ic*c.KH+ky)*c.KW+c.KW]
+				for kx := 0; kx < c.KW; kx++ {
+					wv := wRow[kx]
+					oxLo, oxHi := tapRange(c.Stride, c.Pad, kx, in.W, ow)
+					if oxLo >= oxHi {
+						continue
+					}
+					for oy := oyLo; oy < oyHi; oy++ {
+						y := oy*c.Stride - c.Pad + ky
+						inRow := inCh[y*in.W : (y+1)*in.W]
+						oRow := outCh[oy*ow : (oy+1)*ow]
+						for ox := oxLo; ox < oxHi; ox++ {
+							oRow[ox] += wv * inRow[ox*c.Stride-c.Pad+kx]
 						}
 					}
 				}
-				out.Set(oc, oy, ox, sum)
 			}
 		}
 	}
 	return out
 }
 
+// forwardStride1 adds one input channel's contribution to one output
+// channel for the stride-1 case. The kernel taps are fused per output cell:
+// each cell applies its in-bounds (ky, kx) taps in ascending order as
+// sequential adds — the same per-cell accumulation chain as one full sweep
+// per tap, so the result is bit-identical to the reference loop. Interior
+// cells, whose receptive field lies fully in bounds, take an unrolled
+// branch-free path for the ubiquitous 3×3 kernel; edge cells keep the
+// per-tap bounds test.
+func (c *Conv2D) forwardStride1(in *Volume, inCh, w, outCh []float64, oh, ow int) {
+	fLo, fHi := 0, ow
+	for kx := 0; kx < c.KW; kx++ {
+		lo, hi := tapRange(1, c.Pad, kx, in.W, ow)
+		if lo > fLo {
+			fLo = lo
+		}
+		if hi < fHi {
+			fHi = hi
+		}
+	}
+	if fHi < fLo {
+		fHi = fLo
+	}
+	for oy := 0; oy < oh; oy++ {
+		sy := oy - c.Pad
+		kyLo, kyHi := 0, c.KH
+		if sy < 0 {
+			kyLo = -sy
+		}
+		if over := sy + c.KH - in.H; over > 0 {
+			kyHi = c.KH - over
+		}
+		oRow := outCh[oy*ow : (oy+1)*ow]
+		if edge3 := c.KW == 3 && c.Pad == 1 && in.W >= 2 && ow == in.W; edge3 {
+			// Same-padding 3×3 edge columns miss exactly one tap per kernel
+			// row: kx=0 on the left (x = -1), kx=2 on the right (x = in.W).
+			// Unrolling the two in-bounds taps preserves gatherCell's chain —
+			// ascending ky, then ascending in-bounds kx, sequential adds.
+			acc := oRow[0]
+			for ky := kyLo; ky < kyHi; ky++ {
+				irow := inCh[(sy+ky)*in.W:]
+				wr := w[ky*3:]
+				acc = (acc + wr[1]*irow[0]) + wr[2]*irow[1]
+			}
+			oRow[0] = acc
+			x := in.W - 2
+			acc = oRow[ow-1]
+			for ky := kyLo; ky < kyHi; ky++ {
+				irow := inCh[(sy+ky)*in.W:]
+				wr := w[ky*3:]
+				acc = (acc + wr[0]*irow[x]) + wr[1]*irow[x+1]
+			}
+			oRow[ow-1] = acc
+		} else {
+			for ox := 0; ox < fLo; ox++ {
+				oRow[ox] = c.gatherCell(inCh, w, ox, sy, kyLo, kyHi, in.W, oRow[ox])
+			}
+			for ox := fHi; ox < ow; ox++ {
+				oRow[ox] = c.gatherCell(inCh, w, ox, sy, kyLo, kyHi, in.W, oRow[ox])
+			}
+		}
+		if c.KH == 3 && c.KW == 3 && kyLo == 0 && kyHi == 3 {
+			i0 := inCh[sy*in.W : (sy+1)*in.W]
+			i1 := inCh[(sy+1)*in.W : (sy+2)*in.W]
+			i2 := inCh[(sy+2)*in.W : (sy+3)*in.W]
+			w00, w01, w02 := w[0], w[1], w[2]
+			w10, w11, w12 := w[3], w[4], w[5]
+			w20, w21, w22 := w[6], w[7], w[8]
+			for ox := fLo; ox < fHi; ox++ {
+				x := ox - c.Pad
+				acc := oRow[ox]
+				acc = ((acc + w00*i0[x]) + w01*i0[x+1]) + w02*i0[x+2]
+				acc = ((acc + w10*i1[x]) + w11*i1[x+1]) + w12*i1[x+2]
+				acc = ((acc + w20*i2[x]) + w21*i2[x+1]) + w22*i2[x+2]
+				oRow[ox] = acc
+			}
+		} else {
+			for ox := fLo; ox < fHi; ox++ {
+				x := ox - c.Pad
+				acc := oRow[ox]
+				for ky := kyLo; ky < kyHi; ky++ {
+					irow := inCh[(sy+ky)*in.W:]
+					wr := w[ky*c.KW:]
+					for kx := 0; kx < c.KW; kx++ {
+						acc += wr[kx] * irow[x+kx]
+					}
+				}
+				oRow[ox] = acc
+			}
+		}
+	}
+}
+
+// gatherCell accumulates the in-bounds taps of one edge cell in ascending
+// (ky, kx) order, matching the reference loop's per-element bounds test.
+func (c *Conv2D) gatherCell(inCh, w []float64, ox, sy, kyLo, kyHi, inW int, acc float64) float64 {
+	for ky := kyLo; ky < kyHi; ky++ {
+		irow := inCh[(sy+ky)*inW : (sy+ky+1)*inW]
+		wr := w[ky*c.KW : ky*c.KW+c.KW]
+		for kx := 0; kx < c.KW; kx++ {
+			if x := ox - c.Pad + kx; x >= 0 && x < inW {
+				acc += wr[kx] * irow[x]
+			}
+		}
+	}
+	return acc
+}
+
 // Backward accumulates filter/bias gradients and returns the input gradient.
+//
+// Unlike Forward, the reference (oc, oy, ox) → (ic, ky, kx) nesting must be
+// kept: reordering it would change the order in which din cells and filter
+// gradients accumulate their contributions and so change their low-order
+// bits. The optimization here is purely indexing — per-cell bounds tests
+// become clamped kernel ranges and At/Set become row-slice arithmetic —
+// which leaves every accumulation chain untouched.
 func (c *Conv2D) Backward(dout *Volume) *Volume {
 	in := c.lastIn
 	din := c.ws.Volume(in.C, in.H, in.W)
 	din.Zero() // the scatter below accumulates
+	inHW := in.H * in.W
+	ohw := dout.H * dout.W
 	for oc := 0; oc < c.OutC; oc++ {
 		w := c.W.Value.Row(oc)
 		gw := c.W.Grad.Row(oc)
+		doutCh := dout.Data[oc*ohw : (oc+1)*ohw]
 		for oy := 0; oy < dout.H; oy++ {
+			sy := oy*c.Stride - c.Pad
+			kyLo, kyHi := 0, c.KH
+			if sy < 0 {
+				kyLo = -sy
+			}
+			if over := sy + c.KH - in.H; over > 0 {
+				kyHi = c.KH - over
+			}
+			doutRow := doutCh[oy*dout.W : (oy+1)*dout.W]
 			for ox := 0; ox < dout.W; ox++ {
-				g := dout.At(oc, oy, ox)
+				g := doutRow[ox]
 				if g == 0 {
 					continue
 				}
+				// In place, not via a local partial: the bias gradient
+				// accumulates across samples, so its chain must add each g
+				// directly like the reference loop.
 				c.B.Grad.Data[oc] += g
-				sy := oy*c.Stride - c.Pad
 				sx := ox*c.Stride - c.Pad
+				kxLo, kxHi := 0, c.KW
+				if sx < 0 {
+					kxLo = -sx
+				}
+				if over := sx + c.KW - in.W; over > 0 {
+					kxHi = c.KW - over
+				}
 				for ic := 0; ic < c.InC; ic++ {
-					for ky := 0; ky < c.KH; ky++ {
+					inCh := in.Data[ic*inHW : (ic+1)*inHW]
+					dinCh := din.Data[ic*inHW : (ic+1)*inHW]
+					for ky := kyLo; ky < kyHi; ky++ {
 						y := sy + ky
-						if y < 0 || y >= in.H {
-							continue
-						}
-						wOff := (ic*c.KH + ky) * c.KW
-						for kx := 0; kx < c.KW; kx++ {
-							x := sx + kx
-							if x < 0 || x >= in.W {
-								continue
-							}
-							gw[wOff+kx] += g * in.At(ic, y, x)
-							din.Set(ic, y, x, din.At(ic, y, x)+g*w[wOff+kx])
+						base := y*in.W + sx
+						inRow := inCh[base+kxLo : base+kxHi]
+						dinRow := dinCh[base+kxLo : base+kxHi]
+						wOff := (ic*c.KH+ky)*c.KW + kxLo
+						wSeg := w[wOff : wOff+kxHi-kxLo]
+						gwSeg := gw[wOff : wOff+kxHi-kxLo]
+						for t, iv := range inRow {
+							gwSeg[t] += g * iv
+							dinRow[t] += g * wSeg[t]
 						}
 					}
 				}

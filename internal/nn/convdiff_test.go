@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// conv2dReference is the naive oracle for Conv2D.Forward: per output cell,
+// bias first, then every in-bounds tap in ascending (ic, ky, kx) order with
+// a per-element bounds test. This nesting is the operational definition of
+// the forward accumulation chain — the golden training checksum depends on
+// Forward's fast paths (tap-major sweeps, the stride-1 interior unroll, the
+// 3×3 edge-cell unroll) reproducing it bit for bit.
+func conv2dReference(c *Conv2D, in *Volume) []float64 {
+	oh, ow := c.OutDims(in.H, in.W)
+	out := make([]float64, c.OutC*oh*ow)
+	i := 0
+	for oc := 0; oc < c.OutC; oc++ {
+		w := c.W.Value.Row(oc)
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := c.B.Value.At(0, oc)
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.KH; ky++ {
+						y := oy*c.Stride - c.Pad + ky
+						if y < 0 || y >= in.H {
+							continue
+						}
+						for kx := 0; kx < c.KW; kx++ {
+							x := ox*c.Stride - c.Pad + kx
+							if x < 0 || x >= in.W {
+								continue
+							}
+							acc += w[(ic*c.KH+ky)*c.KW+kx] * in.Data[(ic*in.H+y)*in.W+x]
+						}
+					}
+				}
+				out[i] = acc
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// TestConv2DForwardMatchesReference pins Conv2D.Forward bit-for-bit against
+// the naive oracle across kernel geometries and input shapes, including
+// inputs narrower and shorter than the kernel. Any fast-path change that
+// reorders a single addition fails here before it can disturb the trainer's
+// golden checksum.
+func TestConv2DForwardMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	cases := []struct {
+		name                           string
+		inC, outC, kh, kw, stride, pad int
+		h, w                           int
+	}{
+		{"3x3 pad1 wide", 2, 3, 3, 3, 1, 1, 7, 23},
+		{"3x3 pad1 tall narrow", 3, 2, 3, 3, 1, 1, 19, 2},
+		{"3x3 pad1 single row", 1, 2, 3, 3, 1, 1, 1, 9},
+		{"3x3 pad1 single column", 1, 2, 3, 3, 1, 1, 9, 1},
+		{"3x3 pad1 single cell", 2, 2, 3, 3, 1, 1, 1, 1},
+		{"3x3 pad0", 2, 2, 3, 3, 1, 0, 8, 9},
+		{"3x3 pad2", 1, 2, 3, 3, 1, 2, 5, 6},
+		{"5x5 pad2 stride1", 2, 2, 5, 5, 1, 2, 9, 11},
+		{"1x7 pad3 stride1", 1, 2, 1, 7, 1, 3, 4, 15},
+		{"4x4 stride2 pad1", 2, 3, 4, 4, 2, 1, 10, 12},
+		{"3x3 stride3 pad0", 1, 2, 3, 3, 3, 0, 9, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			layer := NewConv2D(rng, tc.inC, tc.outC, tc.kh, tc.kw, tc.stride, tc.pad)
+			for i := range layer.B.Value.Data {
+				layer.B.Value.Data[i] = rng.NormFloat64() // nonzero bias seeds
+			}
+			in := NewVolume(tc.inC, tc.h, tc.w)
+			for i := range in.Data {
+				in.Data[i] = rng.NormFloat64()
+			}
+			got := layer.Forward(in, false)
+			want := conv2dReference(layer, in)
+			if len(got.Data) != len(want) {
+				t.Fatalf("output length %d, want %d", len(got.Data), len(want))
+			}
+			for i, w := range want {
+				if math.Float64bits(got.Data[i]) != math.Float64bits(w) {
+					t.Fatalf("cell %d: fast path %x (%g) vs reference %x (%g)",
+						i, math.Float64bits(got.Data[i]), got.Data[i], math.Float64bits(w), w)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// frozen32ConvTolerance bounds the float32-vs-float64 drift of a single
+// conv layer: a few hundred roundings at ≈1.2e-7 each.
+const frozen32ConvTolerance = 1e-4
+
+// TestConv2D32MatchesFloat64 drives the frozen Conv2D against the exact
+// float64 layer over a grid of input shapes. The 3×3 stride-1 cases take
+// conv2d32's specialized fast path; the shape grid includes inputs smaller
+// than the kernel so every boundary clamp (left/right columns, top/bottom
+// kernel rows, both at once) is exercised, and a 5×5 stride-2 case pins the
+// generic path against the same oracle.
+func TestConv2D32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []struct {
+		name                           string
+		inC, outC, kh, kw, stride, pad int
+		h, w                           int
+	}{
+		{"3x3 interior-heavy", 2, 3, 3, 3, 1, 1, 9, 17},
+		{"3x3 single row", 1, 4, 3, 3, 1, 1, 1, 8},
+		{"3x3 single column", 1, 2, 3, 3, 1, 1, 8, 1},
+		{"3x3 single cell", 2, 2, 3, 3, 1, 1, 1, 1},
+		{"3x3 two by two", 1, 3, 3, 3, 1, 1, 2, 2},
+		{"3x3 no padding", 2, 2, 3, 3, 1, 0, 6, 7},
+		{"3x3 wide pad", 1, 2, 3, 3, 1, 2, 4, 5},
+		{"5x5 stride 2 generic", 2, 3, 5, 5, 2, 2, 11, 13},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			layer := NewConv2D(rng, tc.inC, tc.outC, tc.kh, tc.kw, tc.stride, tc.pad)
+			in := NewVolume(tc.inC, tc.h, tc.w)
+			for i := range in.Data {
+				in.Data[i] = rng.NormFloat64()
+			}
+			want := layer.Forward(in, false)
+
+			frozen := layer.Freeze32()
+			in32 := NewVolume32(tc.inC, tc.h, tc.w)
+			for i, v := range in.Data {
+				in32.Data[i] = float32(v)
+			}
+			got := frozen.Forward32(in32)
+			if got.C != want.C || got.H != want.H || got.W != want.W {
+				t.Fatalf("shape %dx%dx%d, want %dx%dx%d", got.C, got.H, got.W, want.C, want.H, want.W)
+			}
+			for i, v := range want.Data {
+				diff := math.Abs(float64(got.Data[i]) - v)
+				if diff > frozen32ConvTolerance*(1+math.Abs(v)) {
+					t.Errorf("cell %d: frozen %.8f vs exact %.8f", i, got.Data[i], v)
+				}
+			}
+		})
+	}
+}

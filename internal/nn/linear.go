@@ -30,19 +30,24 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 	}
 }
 
-// Forward computes xW + b.
+// Forward computes xW + b. The loop runs ixj (axpy) order so the inner loop
+// streams a contiguous weight row instead of striding down a column; each
+// output cell still sees bias first, then x[i]·W[i][j] in ascending i —
+// the same per-cell accumulation chain as the column-walk it replaces, so
+// the result is bit-identical.
 func (l *Linear) Forward(in *Volume, _ bool) *Volume {
 	if in.Len() != l.In {
 		panic(fmt.Sprintf("nn: linear expects %d inputs, got %d", l.In, in.Len()))
 	}
 	l.lastIn = in
 	out := l.ws.Volume(1, 1, l.Out)
-	for j := 0; j < l.Out; j++ {
-		sum := l.B.Value.At(0, j)
-		for i, x := range in.Data {
-			sum += x * l.W.Value.At(i, j)
+	copy(out.Data, l.B.Value.Row(0))
+	od := out.Data
+	for i, x := range in.Data {
+		wRow := l.W.Value.Row(i)
+		for j, wv := range wRow {
+			od[j] += x * wv
 		}
-		out.Data[j] = sum
 	}
 	return out
 }

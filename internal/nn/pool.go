@@ -132,16 +132,23 @@ func (p *AdaptiveMaxPool2D) Forward(in *Volume, _ bool) *Volume {
 	p.argmax = growInts(p.argmax, out.Len())
 	oi := 0
 	for c := 0; c < in.C; c++ {
+		chBase := c * in.H * in.W
 		for oy := 0; oy < p.OutH; oy++ {
 			y0, y1 := adaptiveWindow(oy, p.OutH, in.H)
 			for ox := 0; ox < p.OutW; ox++ {
 				x0, x1 := adaptiveWindow(ox, p.OutW, in.W)
-				bestIdx, bestVal := -1, 0.0
+				// Seeding best from the window's first element keeps the
+				// reference scan's tie-breaking: the earliest element in
+				// (y, x) order wins, later ones replace it only when
+				// strictly greater.
+				bestIdx := chBase + y0*in.W + x0
+				bestVal := in.Data[bestIdx]
 				for y := y0; y < y1; y++ {
-					for x := x0; x < x1; x++ {
-						idx := (c*in.H+y)*in.W + x
-						if v := in.Data[idx]; bestIdx < 0 || v > bestVal {
-							bestIdx, bestVal = idx, v
+					rowBase := chBase + y*in.W + x0
+					row := in.Data[rowBase : rowBase+x1-x0]
+					for t, v := range row {
+						if v > bestVal {
+							bestIdx, bestVal = rowBase+t, v
 						}
 					}
 				}

@@ -99,6 +99,11 @@ type Server struct {
 	// inference. 0 selects runtime.GOMAXPROCS.
 	parallelism int
 
+	// float32Serving routes /v1/predict through a frozen float32 snapshot
+	// of each model (SetFloat32Serving). Training and checkpoints stay
+	// float64 regardless.
+	float32Serving bool
+
 	now func() time.Time
 
 	registry       *obs.Registry
@@ -182,6 +187,22 @@ func (s *Server) SetParallelism(n int) error {
 	s.parallelism = n
 	s.rebuildServingLocked()
 	return nil
+}
+
+// SetFloat32Serving selects the inference tier for /v1/predict: enabled,
+// every serving snapshot carries a frozen float32 copy of its model's
+// weights and batches run through it (roughly half the memory traffic of
+// the float64 engine, at the cost of ≈1e-5 relative drift in the reported
+// probabilities — ranked classes are unaffected in practice). Training,
+// checkpoints and the /v1/models fingerprints always stay float64, and the
+// exact engine remains the default. Serving snapshots of every retained
+// version are rebuilt immediately; in-flight predictions finish on the
+// snapshot — and therefore the tier — they started with.
+func (s *Server) SetFloat32Serving(enable bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.float32Serving = enable
+	s.rebuildServingLocked()
 }
 
 // SetBatching tunes the prediction admission queue: a batch never exceeds

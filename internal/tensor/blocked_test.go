@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential harness for the blocked matmul kernels: every target drives
+// the cache-blocked implementation and its retained naive oracle over the
+// same inputs — through a dirty workspace destination — and requires
+// bit-for-bit equality. The oracles (oracle.go) are the operational
+// definition of the per-cell accumulation order, so any blocked-kernel
+// change that reorders a single addition fails here before it can disturb
+// the trainer's golden checksum.
+//
+// The fuzz dims deliberately straddle the blocking boundaries: matMulBlocked
+// blocks 8 columns at a time, matMulTABlocked 4, matMulTBBlocked walks b two
+// rows at a time, so widths 1..48 exercise whole blocks plus every remainder
+// width. k-tile crossings (matmulKB = 256) are covered by the deterministic
+// TestBlockedMatMulCrossesKTiles, which fuzzing at practical sizes would
+// rarely reach.
+
+func dims48(v uint8) int { return 1 + int(v)%48 }
+
+func FuzzBlockedMatMulInto(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(4))
+	f.Add(int64(7), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(11), uint8(16), uint8(47), uint8(8))
+	f.Add(int64(42), uint8(31), uint8(9), uint8(40))
+	f.Fuzz(func(t *testing.T, seed int64, ar, ac, bc uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, dims48(ar), dims48(ac))
+		b := randMatrix(rng, dims48(ac), dims48(bc))
+		ws := NewWorkspace()
+		dst := dirtyDst(ws, rng, a.Rows, b.Cols)
+		matMulBlocked(dst, a, b)
+		want := New(a.Rows, b.Cols)
+		MatMulNaiveInto(want, a, b)
+		requireBitEqual(t, dst, want, "blocked matmul vs naive oracle")
+	})
+}
+
+func FuzzBlockedMatMulTAInto(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(4))
+	f.Add(int64(9), uint8(40), uint8(5), uint8(11))
+	f.Add(int64(13), uint8(1), uint8(47), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, n, ac, bc uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, dims48(n), dims48(ac))
+		b := randMatrix(rng, dims48(n), dims48(bc))
+		ws := NewWorkspace()
+		dst := dirtyDst(ws, rng, a.Cols, b.Cols)
+		matMulTABlocked(dst, a, b)
+		want := New(a.Cols, b.Cols)
+		MatMulTANaiveInto(want, a, b)
+		requireBitEqual(t, dst, want, "blocked matmul-ta vs naive oracle")
+	})
+}
+
+func FuzzBlockedMatMulTBInto(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(4))
+	f.Add(int64(17), uint8(7), uint8(33), uint8(6))
+	f.Add(int64(23), uint8(48), uint8(2), uint8(47))
+	f.Fuzz(func(t *testing.T, seed int64, ar, k, br uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, dims48(ar), dims48(k))
+		b := randMatrix(rng, dims48(br), dims48(k))
+		ws := NewWorkspace()
+		dst := dirtyDst(ws, rng, a.Rows, b.Rows)
+		matMulTBBlocked(dst, a, b)
+		want := New(a.Rows, b.Rows)
+		MatMulTBNaiveInto(want, a, b)
+		requireBitEqual(t, dst, want, "blocked matmul-tb vs naive oracle")
+	})
+}
+
+// TestBlockedMatMulCrossesKTiles pins bit-identity at inner dimensions that
+// span multiple k-tiles (matmulKB = 256): the blocked kernel stages partial
+// sums through dst across tiles, and this test proves the staging reproduces
+// the oracle's single uninterrupted accumulation chain exactly.
+func TestBlockedMatMulCrossesKTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, k := range []int{255, 256, 257, 517} {
+		a := randMatrix(rng, 3, k)
+		b := randMatrix(rng, k, 19)
+		dst := New(3, 19)
+		matMulBlocked(dst, a, b)
+		want := New(3, 19)
+		MatMulNaiveInto(want, a, b)
+		requireBitEqual(t, dst, want, "k-tile crossing matmul")
+
+		ta := randMatrix(rng, k, 5)
+		tb := randMatrix(rng, k, 11)
+		dstTA := New(5, 11)
+		matMulTABlocked(dstTA, ta, tb)
+		wantTA := New(5, 11)
+		MatMulTANaiveInto(wantTA, ta, tb)
+		requireBitEqual(t, dstTA, wantTA, "k-tile crossing matmul-ta")
+
+		ba := randMatrix(rng, 4, k)
+		bb := randMatrix(rng, 7, k)
+		dstTB := New(4, 7)
+		matMulTBBlocked(dstTB, ba, bb)
+		wantTB := New(4, 7)
+		MatMulTBNaiveInto(wantTB, ba, bb)
+		requireBitEqual(t, dstTB, wantTB, "k-tile crossing matmul-tb")
+	}
+}
+
+// TestNaiveOraclesShareValidation proves the oracles sit behind the same
+// dimension and aliasing panics as the dispatchers, so the fuzz harness
+// cannot silently compare mismatched shapes.
+func TestNaiveOraclesShareValidation(t *testing.T) {
+	a, b := New(2, 3), New(3, 4)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"naive matmul wrong dst", func() { MatMulNaiveInto(New(2, 3), a, b) }},
+		{"naive matmul dst aliases a", func() { MatMulNaiveInto(a, a, New(3, 3)) }},
+		{"naive matmul-ta wrong dst", func() { MatMulTANaiveInto(New(2, 2), a, New(2, 4)) }},
+		{"naive matmul-ta dst aliases b", func() { sq := New(4, 4); MatMulTANaiveInto(sq, New(4, 4), sq) }},
+		{"naive matmul-tb wrong dst", func() { MatMulTBNaiveInto(New(1, 1), a, New(4, 3)) }},
+		{"naive matmul-tb dst aliases a", func() { sq := New(3, 3); MatMulTBNaiveInto(sq, sq, New(3, 3)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

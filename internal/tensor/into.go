@@ -31,11 +31,11 @@ func mustDims(dst *Matrix, rows, cols int, op string) {
 	}
 }
 
-// MatMulInto computes dst = a·b. It panics if the inner dimensions
-// disagree, if dst is not a.Rows×b.Cols, or if dst aliases a or b (the
-// kernel zeroes dst before accumulating, so aliasing would corrupt an
-// operand mid-product).
-func MatMulInto(dst, a, b *Matrix) {
+// checkMatMul validates the operands of dst = a·b: inner dimensions must
+// agree, dst must be a.Rows×b.Cols, and dst must not alias an operand (the
+// kernels zero or overwrite dst, so aliasing would corrupt an operand
+// mid-product).
+func checkMatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -43,27 +43,10 @@ func MatMulInto(dst, a, b *Matrix) {
 	if sameBuffer(dst, a) || sameBuffer(dst, b) {
 		panic("tensor: matmul destination aliases an operand")
 	}
-	dst.Zero()
-	// ikj loop order: streams through b and dst rows for cache friendliness.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
 }
 
-// MatMulTAInto computes dst = aᵀ·b without materializing aᵀ. Contribution
-// order per destination element is ascending over a's rows — identical to
-// MatMul(a.T(), b) — so the result is bit-for-bit the oracle's.
-func MatMulTAInto(dst, a, b *Matrix) {
+// checkMatMulTA validates the operands of dst = aᵀ·b.
+func checkMatMulTA(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul-ta %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -71,25 +54,10 @@ func MatMulTAInto(dst, a, b *Matrix) {
 	if sameBuffer(dst, a) || sameBuffer(dst, b) {
 		panic("tensor: matmul-ta destination aliases an operand")
 	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		brow := b.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := dst.Row(k)
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
 }
 
-// MatMulTBInto computes dst = a·bᵀ without materializing bᵀ. The summation
-// order per destination element matches MatMul(a, b.T()) exactly.
-func MatMulTBInto(dst, a, b *Matrix) {
+// checkMatMulTB validates the operands of dst = a·bᵀ.
+func checkMatMulTB(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul-tb %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -97,19 +65,31 @@ func MatMulTBInto(dst, a, b *Matrix) {
 	if sameBuffer(dst, a) || sameBuffer(dst, b) {
 		panic("tensor: matmul-tb destination aliases an operand")
 	}
-	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		orow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			for j := 0; j < b.Rows; j++ {
-				orow[j] += av * b.Data[j*b.Cols+k]
-			}
-		}
-	}
+}
+
+// MatMulInto computes dst = a·b with the blocked kernel of blocked.go. The
+// result is bit-for-bit MatMulNaiveInto's: per destination cell the products
+// are summed over k strictly ascending with zero a[i][k] terms skipped. It
+// panics if the inner dimensions disagree, if dst is not a.Rows×b.Cols, or
+// if dst aliases a or b.
+func MatMulInto(dst, a, b *Matrix) {
+	checkMatMul(dst, a, b)
+	matMulBlocked(dst, a, b)
+}
+
+// MatMulTAInto computes dst = aᵀ·b without materializing aᵀ. Contribution
+// order per destination element is ascending over a's rows — identical to
+// MatMul(a.T(), b) — so the result is bit-for-bit the oracle's.
+func MatMulTAInto(dst, a, b *Matrix) {
+	checkMatMulTA(dst, a, b)
+	matMulTABlocked(dst, a, b)
+}
+
+// MatMulTBInto computes dst = a·bᵀ without materializing bᵀ. The summation
+// order per destination element matches MatMul(a, b.T()) exactly.
+func MatMulTBInto(dst, a, b *Matrix) {
+	checkMatMulTB(dst, a, b)
+	matMulTBBlocked(dst, a, b)
 }
 
 // AddInto computes dst = a+b elementwise. dst may alias a or b.

@@ -1,0 +1,69 @@
+package tensor
+
+import "fmt"
+
+// Matrix32 is a dense row-major float32 matrix — the storage type of the
+// frozen inference tier (see Model.Freeze32 in internal/core). The float64
+// Matrix remains the single source of truth for training and for the
+// bit-deterministic float64 serving path; Matrix32 holds derived snapshots
+// only, so it carries none of Matrix's accumulation-order contract. Its
+// kernels are free to pick any summation order, and its results are
+// documented as approximate (≈1e-5 relative) next to the float64 tier.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zeroed rows×cols float32 matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix32 dims %dx%d", rows, cols))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewMatrix32From allocates a float32 copy of a float64 matrix, rounding
+// each element to nearest.
+func NewMatrix32From(src *Matrix) *Matrix32 {
+	m := NewMatrix32(src.Rows, src.Cols)
+	for i, v := range src.Data {
+		m.Data[i] = float32(v)
+	}
+	return m
+}
+
+// Row returns row i as a slice sharing the matrix's storage.
+func (m *Matrix32) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// MatMul32Into computes dst = a·b in float32. dst must not alias either
+// operand; it is fully overwritten. The kernel runs the ikj (axpy) order so
+// the inner loop streams contiguous rows of b and dst.
+func MatMul32Into(dst, a, b *Matrix32) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul32 %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul32 destination %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package tensor
+
+// This file retains the original straight-loop matmul kernels as reference
+// oracles for the blocked kernels in into.go. They are the ground truth of
+// the bit-determinism contract: each blocked kernel must reproduce its
+// oracle's output bit for bit on every input, a property enforced by the
+// differential fuzz targets FuzzBlockedMatMulInto / -TA / -TB in
+// into_test.go. The oracles therefore define, operationally, what
+// "accumulation order per output cell" means for this package:
+//
+//   - dst[i][j] for MatMul receives Σₖ a[i][k]·b[k][j] with k strictly
+//     ascending and a zero a[i][k] contributing nothing (the term is
+//     skipped, not added — skipping and adding differ in the sign of a
+//     resulting -0.0 and in NaN/Inf propagation, so the skip is part of
+//     the contract);
+//   - MatMulTA accumulates over a's rows i ascending with the same skip;
+//   - MatMulTB accumulates over k ascending with the same skip.
+//
+// The oracles share the dimension/aliasing panics with the fast kernels via
+// the checked entry points below, so the fuzz harness can drive both
+// implementations through one validated front door.
+
+// MatMulNaiveInto is the reference triple loop for dst = a·b in ikj order.
+// Identical contract to MatMulInto; kept for differential testing.
+func MatMulNaiveInto(dst, a, b *Matrix) {
+	checkMatMul(dst, a, b)
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTANaiveInto is the reference loop for dst = aᵀ·b: contribution order
+// per destination element is ascending over a's rows. Identical contract to
+// MatMulTAInto; kept for differential testing.
+func MatMulTANaiveInto(dst, a, b *Matrix) {
+	checkMatMulTA(dst, a, b)
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := dst.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTBNaiveInto is the reference loop for dst = a·bᵀ: the summation order
+// per destination element is ascending over the shared inner dimension.
+// Identical contract to MatMulTBInto; kept for differential testing.
+func MatMulTBNaiveInto(dst, a, b *Matrix) {
+	checkMatMulTB(dst, a, b)
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Rows; j++ {
+				orow[j] += av * b.Data[j*b.Cols+k]
+			}
+		}
+	}
+}
