@@ -106,8 +106,9 @@ func (t *DecisionTree) grow(xs [][]float64, ys []int, idx []int, depth int) *tre
 
 func isPure(counts []float64, total float64) bool {
 	for _, c := range counts {
-		//lint:ignore floatcmp class counts are integer-valued (incremented by 1), so equality is exact
-		if c == total {
+		// Class counts are integer-valued (incremented by 1) and never
+		// exceed the total, so >= holds exactly when the count equals it.
+		if c >= total {
 			return true
 		}
 	}

@@ -51,6 +51,10 @@ type Model struct {
 	// at the top of each forward — so after one warm-up pass a steady-state
 	// TrainStep performs zero heap allocations.
 	ws *nn.Workspace
+	// fwdProp is Forward's recycled propagation operator, Rebuilt in place
+	// per call; like ws it makes the one-shot entry point allocation-free at
+	// steady state (and, like ws, makes Forward single-threaded per model).
+	fwdProp *graph.Propagator
 	// probs/dlogits are the persistent loss scratch for TrainStep.
 	probs   []float64
 	dlogits []float64
@@ -107,6 +111,7 @@ func NewModel(cfg Config, trainSizes []int) (*Model, error) {
 	}
 
 	m.ws = nn.NewWorkspace()
+	m.fwdProp = graph.NewPropagator(graph.NewDirected(1))
 	m.conv.SetWorkspace(m.ws)
 	if m.sort != nil {
 		m.sort.SetWorkspace(m.ws)
@@ -226,11 +231,12 @@ func (m *Model) Scaler() *Scaler { return m.scaler }
 // Forward computes class logits for one ACFG. train enables dropout.
 //
 // This is the one-shot convenience entry point; callers on the per-sample
-// hot path (the trainer, PredictBatch) hold cached propagators and go
-// through forwardProp directly.
+// hot path (the trainer, PredictBatch) hold their own cached propagators
+// and go through forwardProp directly. Forward recycles the model's
+// fwdProp via Rebuild, so it too is allocation-free at steady state.
 func (m *Model) Forward(a *acfg.ACFG, train bool) []float64 {
-	//lint:ignore hotpathalloc one-shot convenience API; hot-path callers pass cached propagators to forwardProp
-	return m.forwardProp(graph.NewPropagator(a.Graph), a, train)
+	m.fwdProp.Rebuild(a.Graph)
+	return m.forwardProp(m.fwdProp, a, train)
 }
 
 // forwardProp is Forward with a caller-supplied (possibly cached)

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline support: cmd/magic-lint -baseline findings.json suppresses the
+// exact findings recorded in a committed report, so a new rule can land
+// and gate CI immediately while the repo-wide sweep is still in flight.
+// The file is the -json Report document itself — generate it with
+//
+//	go run ./cmd/magic-lint -json ./... > findings.json
+//
+// Matching is exact on every field (rule, file, line, col, message): the
+// moment a flagged line moves or is fixed, its baseline entry stops
+// matching and becomes *stale*. Stale entries are a hard error (exit 2) —
+// the drift gate — so a baseline can only shrink, never rot into a pile
+// of suppressions nobody can map to code.
+
+// ReadBaseline loads a baseline report from path.
+func ReadBaseline(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// ApplyBaseline filters findings through the baseline: kept are the
+// findings not covered by a baseline entry, stale the baseline entries
+// that matched nothing in this run. Matching is by exact Finding equality,
+// multiset-style: a baseline entry absorbs at most one finding.
+func ApplyBaseline(findings []Finding, base *Report) (kept, stale []Finding) {
+	budget := map[Finding]int{}
+	for _, f := range base.Findings {
+		budget[f]++
+	}
+	for _, f := range findings {
+		if budget[f] > 0 {
+			budget[f]--
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, f := range base.Findings {
+		if budget[f] > 0 {
+			budget[f]--
+			stale = append(stale, f)
+		}
+	}
+	return kept, stale
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file builds the whole-module static call graph the interprocedural
+// rules run on. Nodes are the module's own declared functions and methods
+// (one per *types.Func with a body in the loaded units); edges are the
+// statically resolvable calls between them — plain calls, method calls on
+// concrete receivers, deferred calls, and go statements. Calls through
+// interfaces or function values have no static callee and contribute no
+// edge: the interprocedural facts are therefore may-miss, never may-lie,
+// which is the right polarity for a lint gate (a missing edge can hide a
+// finding, it cannot invent one).
+//
+// SCCs returns Tarjan's strongly connected components in bottom-up order —
+// every component is emitted after all components it calls into — so a
+// single pass over SCCs with an inner fixpoint per component suffices to
+// propagate summaries (summary.go).
+
+// FuncNode is one declared function in the call graph.
+type FuncNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Unit *Unit
+	// Callees are the statically resolved module-internal callees,
+	// deduplicated, in first-seen source order (deterministic because files
+	// and declarations are visited in loader order).
+	Callees []*FuncNode
+}
+
+// CallGraph is the module call graph plus its bottom-up SCC decomposition.
+type CallGraph struct {
+	// Nodes maps every declared function object to its node.
+	Nodes map[*types.Func]*FuncNode
+	// SCCs lists the strongly connected components callees-first: for any
+	// edge a→b with a and b in different components, b's component appears
+	// before a's.
+	SCCs [][]*FuncNode
+}
+
+// BuildCallGraph constructs the call graph over every loaded unit.
+func BuildCallGraph(res *Result) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*FuncNode{}}
+	var order []*FuncNode // declaration order, for deterministic traversal
+
+	for _, u := range res.Units {
+		for _, file := range u.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &FuncNode{Fn: fn, Decl: fd, Unit: u}
+				g.Nodes[fn] = n
+				order = append(order, n)
+			}
+		}
+	}
+
+	for _, n := range order {
+		seen := map[*FuncNode]bool{}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := funcObj(n.Unit.Info, call)
+			if callee == nil {
+				return true
+			}
+			if target, ok := g.Nodes[callee]; ok && !seen[target] {
+				seen[target] = true
+				n.Callees = append(n.Callees, target)
+			}
+			return true
+		})
+	}
+
+	g.SCCs = tarjanSCC(order)
+	return g
+}
+
+// tarjanSCC computes strongly connected components over the Callees edges.
+// Components are appended when their root pops, which in Tarjan's algorithm
+// happens only after every reachable component has been emitted — the
+// bottom-up order the summary fixpoint needs.
+func tarjanSCC(nodes []*FuncNode) [][]*FuncNode {
+	type state struct {
+		index, low int
+		onStack    bool
+	}
+	st := map[*FuncNode]*state{}
+	var stack []*FuncNode
+	var sccs [][]*FuncNode
+	next := 0
+
+	var strongconnect func(n *FuncNode)
+	strongconnect = func(n *FuncNode) {
+		s := &state{index: next, low: next}
+		next++
+		st[n] = s
+		stack = append(stack, n)
+		s.onStack = true
+
+		for _, c := range n.Callees {
+			cs, seen := st[c]
+			if !seen {
+				strongconnect(c)
+				if cl := st[c].low; cl < s.low {
+					s.low = cl
+				}
+			} else if cs.onStack {
+				if cs.index < s.low {
+					s.low = cs.index
+				}
+			}
+		}
+
+		if s.low == s.index {
+			var comp []*FuncNode
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				st[m].onStack = false
+				comp = append(comp, m)
+				if m == n {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+
+	for _, n := range nodes {
+		if _, seen := st[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// NewFrozenMut builds the "frozenmut" analyzer. The float32 inference tier
+// (core.Frozen32 and the layer snapshots in the frozen32.go files of
+// internal/core and internal/nn) is shared lock-free across PredictBatch
+// workers and hot-swapped atomically by the serving registry — its safety
+// argument is that a snapshot is immutable after construction. This rule
+// makes that structural: no field of a frozen-tier type may be assigned
+// outside its construction.
+//
+// A write is construction when the value was built in the writing function
+// itself (a composite literal, new, or a fresh constructor result); writes
+// through parameters, receivers, globals, or call results are mutations of
+// possibly-shared snapshots and are flagged. The enforcement is
+// transitive in both directions: factoring the write into a helper still
+// flags it at the helper (the root is then the helper's own parameter),
+// and passing a frozen value — or anything reachable from one — to a
+// function whose summary says it writes that position flags the call site.
+func NewFrozenMut() *Analyzer {
+	return &Analyzer{
+		Name:      "frozenmut",
+		Doc:       "no writes to frozen-tier (frozen32.go) struct fields outside construction, transitively",
+		RunModule: runFrozenMut,
+	}
+}
+
+// isFrozenType reports whether t (behind pointers) is a frozen-tier named
+// struct: declared in a file named frozen32.go of internal/core,
+// internal/nn, or a testdata golden package.
+func (mc *ModuleContext) isFrozenType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if !strings.HasSuffix(path, "internal/core") && !strings.HasSuffix(path, "internal/nn") &&
+		!strings.Contains("/"+path+"/", "/testdata/") {
+		return false
+	}
+	return filepath.Base(mc.Res.Fset.Position(obj.Pos()).Filename) == "frozen32.go"
+}
+
+func runFrozenMut(mc *ModuleContext, rep *Reporter) {
+	for _, comp := range mc.Graph.SCCs {
+		for _, n := range comp {
+			mc.frozenMutNode(n, rep)
+		}
+	}
+}
+
+func (mc *ModuleContext) frozenMutNode(n *FuncNode, rep *Reporter) {
+	env := mc.Env(n.Fn)
+
+	checkWrite := func(lhs ast.Expr) {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if s, ok := n.Unit.Info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+			return
+		}
+		tv, ok := n.Unit.Info.Types[sel.X]
+		if !ok || !mc.isFrozenType(tv.Type) {
+			return
+		}
+		c := env.canon(sel.X)
+		if c == "" || strings.HasPrefix(c, "new:") {
+			return // unknown, or constructed right here: construction
+		}
+		rep.Report("frozenmut", lhs.Pos(),
+			"write to field %s of frozen %s outside its construction; snapshots are shared lock-free and must stay immutable",
+			sel.Sel.Name, namedOf(tv.Type).Obj().Name())
+	}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range v.Lhs {
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(v.X)
+		}
+		return true
+	})
+
+	// Interprocedural leg: passing a frozen-reachable value into a
+	// position the callee's summary says it writes through. Skipped when
+	// the callee's own parameter is frozen-typed — the write site inside
+	// the callee already carries the finding.
+	for _, cf := range mc.Calls(n.Fn) {
+		cs := mc.Summaries[cf.callee]
+		if cs == nil {
+			continue
+		}
+		for j, w := range cs.WritesPos {
+			if !w {
+				continue
+			}
+			arg := cf.argAt(j)
+			if arg == nil {
+				continue
+			}
+			if mc.positionType(cf.callee, j) != nil && mc.isFrozenType(mc.positionType(cf.callee, j)) {
+				continue // flagged at the callee's write site
+			}
+			if !mc.frozenOnPath(n.Unit, env, arg) {
+				continue
+			}
+			rep.Report("frozenmut", cf.call.Pos(),
+				"passes memory reachable from a frozen snapshot to %s, which writes through that parameter",
+				cf.callee.Name())
+		}
+	}
+}
+
+// positionType returns the static type of fn's unified position j.
+func (mc *ModuleContext) positionType(fn *types.Func, j int) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if sig.Recv() != nil {
+		if j == 0 {
+			return sig.Recv().Type()
+		}
+		j--
+	}
+	if j < 0 || j >= sig.Params().Len() {
+		return nil
+	}
+	return sig.Params().At(j).Type()
+}
+
+// frozenOnPath reports whether arg's selector chain passes through a
+// frozen-typed value that was not constructed in the current function.
+func (mc *ModuleContext) frozenOnPath(u *Unit, env *canonEnv, arg ast.Expr) bool {
+	for x := ast.Unparen(arg); ; {
+		switch v := x.(type) {
+		case *ast.UnaryExpr:
+			if v.Op != token.AND {
+				return false
+			}
+			x = ast.Unparen(v.X)
+		case *ast.StarExpr:
+			x = ast.Unparen(v.X)
+		case *ast.SelectorExpr:
+			if tv, ok := u.Info.Types[v.X]; ok && mc.isFrozenType(tv.Type) {
+				c := env.canon(v.X)
+				if c != "" && !strings.HasPrefix(c, "new:") {
+					return true
+				}
+			}
+			x = ast.Unparen(v.X)
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewGoroutineHygiene builds the "goroutinehygiene" analyzer, which guards
+// the serving stack's two concurrency disciplines:
+//
+// First, every goroutine spawned in internal/{service,gateway,core} must
+// be tied to an observable lifecycle anchor: a sync.WaitGroup, a
+// stop/quit channel, or a context — observed in the spawned closure
+// itself, passed to the spawned function as an argument, or (through the
+// call-graph summaries) observed anywhere in the spawned function's
+// transitive callees. A fire-and-forget goroutine that touches none of
+// these can outlive a request, a shutdown drain, or a test, and is flagged
+// at the go statement.
+//
+// Second, a request path must propagate its context: a function in
+// internal/{service,gateway} that already receives a context.Context or an
+// *http.Request must not manufacture a fresh root with
+// context.Background() or context.TODO() — doing so silently detaches
+// downstream work from cancellation and deadlines.
+func NewGoroutineHygiene() *Analyzer {
+	return &Analyzer{
+		Name:      "goroutinehygiene",
+		Doc:       "goroutines in internal/{service,gateway,core} must observe a WaitGroup/stop-channel/context; ctx-bearing request paths must not call context.Background",
+		RunModule: runGoroutineHygiene,
+	}
+}
+
+// goroutineDirs is the spawn-discipline scope: the packages whose
+// goroutines must be joinable or cancellable.
+var goroutineDirs = []string{
+	"internal/service",
+	"internal/gateway",
+	"internal/core",
+}
+
+// ctxDirs is the context-propagation scope: the request-serving layers.
+var ctxDirs = []string{
+	"internal/service",
+	"internal/gateway",
+}
+
+func inDirScope(u *Unit, dirs []string) bool {
+	if u.Testdata {
+		return true
+	}
+	for _, d := range dirs {
+		if u.Rel == d || strings.HasPrefix(u.Rel, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoroutineHygiene(mc *ModuleContext, rep *Reporter) {
+	for _, comp := range mc.Graph.SCCs {
+		for _, n := range comp {
+			if inDirScope(n.Unit, goroutineDirs) {
+				mc.checkGoStmts(n, rep)
+			}
+			if inDirScope(n.Unit, ctxDirs) {
+				mc.checkCtxRoots(n, rep)
+			}
+		}
+	}
+}
+
+// checkGoStmts flags untied go statements in n's body.
+func (mc *ModuleContext) checkGoStmts(n *FuncNode, rep *Reporter) {
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		g, ok := node.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if mc.goTied(n.Unit, g.Call) {
+			return true
+		}
+		rep.Report("goroutinehygiene", g.Pos(),
+			"goroutine is not tied to a WaitGroup, stop channel, or context; it can outlive shutdown (join it, give it a stop signal, or //lint:ignore goroutinehygiene with a reason)")
+		return true
+	})
+}
+
+// goTied decides whether the spawned call observes a lifecycle anchor.
+func (mc *ModuleContext) goTied(u *Unit, call *ast.CallExpr) bool {
+	// A closure: direct syntactic evidence in its body, or a transitively
+	// observing callee.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		if observesSyncNode(u, lit.Body) {
+			return true
+		}
+		return mc.anyCalleeObserves(u, lit.Body)
+	}
+	// A named spawn: an anchor-typed argument ties it, and so does the
+	// callee's own (transitive) summary.
+	for _, arg := range call.Args {
+		if tv, ok := u.Info.Types[arg]; ok && isSyncAnchorType(tv.Type) {
+			return true
+		}
+		if observesSyncNode(u, arg) {
+			return true
+		}
+	}
+	if fn := funcObj(u.Info, call); fn != nil {
+		if s := mc.Summaries[fn]; s != nil && s.ObservesSync {
+			return true
+		}
+	}
+	return false
+}
+
+// anyCalleeObserves reports whether any statically resolved call inside
+// root reaches a function whose summary observes a concurrency anchor.
+func (mc *ModuleContext) anyCalleeObserves(u *Unit, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := funcObj(u.Info, call); fn != nil {
+			if s := mc.Summaries[fn]; s != nil && s.ObservesSync {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCtxRoots flags context.Background/TODO in functions that already
+// carry a request context.
+func (mc *ModuleContext) checkCtxRoots(n *FuncNode, rep *Reporter) {
+	if !hasCtxParam(n.Fn) {
+		return
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(n.Unit.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if name := fn.Name(); name == "Background" || name == "TODO" {
+			rep.Report("goroutinehygiene", call.Pos(),
+				"context.%s() inside a request path that already receives a context; derive from the incoming ctx so cancellation propagates", name)
+		}
+		return true
+	})
+}
+
+// hasCtxParam reports whether fn receives a context.Context or an
+// *http.Request parameter.
+func hasCtxParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if n := namedOf(t); n != nil {
+			switch typeID(n) {
+			case "context.Context", "net/http.Request":
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -15,13 +15,22 @@ import (
 // tests will reject — this rule flags it at lint time, with the file and
 // call site, before a test has to bisect which layer regressed.
 //
+// The check is transitive: a Forward that calls a helper which (through
+// any depth of statically resolved calls) reaches an allocating
+// constructor is flagged at the Forward's call site, naming the root
+// constructor — factoring the allocation into a wrapper no longer hides
+// it. Two things stop the propagation: the Workspace checkout methods,
+// whose internal allocations are grow-once and amortize to zero, and call
+// sites carrying a //lint:ignore hotpathalloc directive, which bless the
+// subtree behind them.
+//
 // Intentional allocations (a one-off cold path, a grow-once cache) are
 // suppressed in place with //lint:ignore hotpathalloc <reason>.
 func NewHotPathAlloc() *Analyzer {
 	return &Analyzer{
-		Name: "hotpathalloc",
-		Doc:  "no allocating tensor/nn calls inside Forward/Backward in internal/core and internal/nn",
-		Run:  runHotPathAlloc,
+		Name:      "hotpathalloc",
+		Doc:       "no transitively allocating tensor/nn calls inside Forward/Backward in internal/core and internal/nn",
+		RunModule: runHotPathAlloc,
 	}
 }
 
@@ -96,36 +105,42 @@ func calleeID(fn *types.Func) string {
 	return fn.Name()
 }
 
-func runHotPathAlloc(u *Unit, rep *Reporter) {
-	if !inHotPathScope(u) {
-		return
-	}
-	for _, file := range u.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+func runHotPathAlloc(mc *ModuleContext, rep *Reporter) {
+	for _, comp := range mc.Graph.SCCs {
+		for _, n := range comp {
+			if !inHotPathScope(n.Unit) {
 				continue
 			}
-			if name := fd.Name.Name; name != "Forward" && name != "Backward" {
+			name := n.Decl.Name.Name
+			if name != "Forward" && name != "Backward" {
 				continue
 			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
+			ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
-				fn := funcObj(u.Info, call)
+				fn := funcObj(n.Unit.Info, call)
 				if fn == nil {
 					return true
 				}
 				id := calleeID(fn)
-				for _, bad := range allocCallees {
-					if id == bad || strings.HasSuffix(id, "/"+bad) {
-						rep.Report("hotpathalloc", call.Pos(),
-							"%s allocates inside %s; use a workspace checkout and the *Into kernels (or //lint:ignore hotpathalloc with a reason)",
-							shortCallee(bad), fd.Name.Name)
-						break
-					}
+				if bad, ok := matchCallee(id, allocCallees); ok {
+					rep.Report("hotpathalloc", call.Pos(),
+						"%s allocates inside %s; use a workspace checkout and the *Into kernels (or //lint:ignore hotpathalloc with a reason)",
+						shortCallee(bad), name)
+					return true
+				}
+				// Transitive leg: a module-internal callee whose summary
+				// says an allocating constructor is reachable from it —
+				// unless the path runs through a workspace checkout.
+				if _, stop := matchCallee(id, allocStopCallees); stop {
+					return true
+				}
+				if s := mc.Summaries[fn]; s != nil && s.Allocates {
+					rep.Report("hotpathalloc", call.Pos(),
+						"%s transitively allocates (reaches %s) inside %s; use a workspace checkout and the *Into kernels (or //lint:ignore hotpathalloc with a reason)",
+						fn.Name(), s.AllocCallee, name)
 				}
 				return true
 			})

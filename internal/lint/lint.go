@@ -72,20 +72,40 @@ func (f Finding) String() string {
 
 // Reporter collects findings during a run. Analyzers report positions in
 // the load's shared FileSet; the runner resolves, filters suppressions,
-// and sorts.
+// and sorts. Duplicate reports for the same (rule, position) — which the
+// interprocedural rules can produce when one call site is reachable
+// through two parents in the call graph — collapse to the first report.
 type Reporter struct {
 	fset *token.FileSet
 	root string
 	out  []Finding
+	seen map[reportKey]bool
 }
 
-// Report records one finding for the given rule at pos.
+// reportKey identifies a finding site for deduplication.
+type reportKey struct {
+	rule string
+	file string
+	line int
+	col  int
+}
+
+// Report records one finding for the given rule at pos. A second report
+// for the same rule at the same resolved position is dropped.
 func (r *Reporter) Report(rule string, pos token.Pos, format string, args ...any) {
 	p := r.fset.Position(pos)
 	file := p.Filename
 	if rel, err := filepath.Rel(r.root, file); err == nil && !strings.HasPrefix(rel, "..") {
 		file = filepath.ToSlash(rel)
 	}
+	key := reportKey{rule: rule, file: file, line: p.Line, col: p.Column}
+	if r.seen[key] {
+		return
+	}
+	if r.seen == nil {
+		r.seen = map[reportKey]bool{}
+	}
+	r.seen[key] = true
 	r.out = append(r.out, Finding{
 		Rule:    rule,
 		File:    file,
@@ -95,15 +115,19 @@ func (r *Reporter) Report(rule string, pos token.Pos, format string, args ...any
 	})
 }
 
-// Analyzer is one named rule. Run is invoked once per unit; Finish, when
-// non-nil, once after all units (for cross-package aggregates such as the
-// duplicate-metric-registration check). Analyzers carry per-run state, so
-// a fresh Suite must be built for every run.
+// Analyzer is one named rule. Run, when non-nil, is invoked once per unit.
+// RunModule, when non-nil, is invoked once with the shared interprocedural
+// ModuleContext (call graph + per-function summaries, built lazily on
+// first use). Finish, when non-nil, runs once after all units (for
+// cross-package aggregates such as the duplicate-metric-registration
+// check). Analyzers carry per-run state, so a fresh Suite must be built
+// for every run.
 type Analyzer struct {
-	Name   string
-	Doc    string
-	Run    func(u *Unit, r *Reporter)
-	Finish func(r *Reporter)
+	Name      string
+	Doc       string
+	Run       func(u *Unit, r *Reporter)
+	RunModule func(mc *ModuleContext, r *Reporter)
+	Finish    func(r *Reporter)
 }
 
 // Suite returns fresh instances of every repo analyzer.
@@ -115,6 +139,9 @@ func Suite() []*Analyzer {
 		NewReplicaCopy(),
 		NewFloatCmp(),
 		NewHotPathAlloc(),
+		NewAliasUnsafe(),
+		NewFrozenMut(),
+		NewGoroutineHygiene(),
 	}
 }
 
@@ -125,9 +152,22 @@ func Run(res *Result, analyzers []*Analyzer) []Finding {
 	rep := &Reporter{fset: res.Fset, root: res.Root}
 	sup := collectSuppressions(res, rep)
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		for _, u := range res.Units {
 			a.Run(u, rep)
 		}
+	}
+	var mc *ModuleContext
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if mc == nil {
+			mc = newModuleContext(res, sup)
+		}
+		a.RunModule(mc, rep)
 	}
 	for _, a := range analyzers {
 		if a.Finish != nil {

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"go/token"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -56,21 +59,32 @@ func TestGoldenPackages(t *testing.T) {
 	}
 
 	want := map[string]map[string]int{
-		"determinism_bad":  {"determinism": 4},
-		"determinism_ok":   {},
-		"metricnames_bad":  {"metricnames": 5},
-		"metricnames_ok":   {},
-		"errcheck_bad":     {"errcheck": 2},
-		"errcheck_ok":      {},
-		"replicacopy_bad":  {"replicacopy": 4},
-		"replicacopy_ok":   {},
-		"floatcmp_bad":     {"floatcmp": 2},
-		"floatcmp_ok":      {},
-		"hotpathalloc_bad": {"hotpathalloc": 7},
-		"hotpathalloc_ok":  {},
+		"determinism_bad":      {"determinism": 4},
+		"determinism_ok":       {},
+		"metricnames_bad":      {"metricnames": 5},
+		"metricnames_ok":       {},
+		"errcheck_bad":         {"errcheck": 2},
+		"errcheck_ok":          {},
+		"replicacopy_bad":      {"replicacopy": 4},
+		"replicacopy_ok":       {},
+		"floatcmp_bad":         {"floatcmp": 2},
+		"floatcmp_ok":          {},
+		"hotpathalloc_bad":     {"hotpathalloc": 9},
+		"hotpathalloc_ok":      {},
+		"aliasunsafe_bad":      {"aliasunsafe": 4},
+		"aliasunsafe_ok":       {},
+		"frozenmut_bad":        {"frozenmut": 4},
+		"frozenmut_ok":         {},
+		"goroutinehygiene_bad": {"goroutinehygiene": 4},
+		"goroutinehygiene_ok":  {},
+		// Loader edge-case packages: buildtags carries a //go:build ignore
+		// file that must be filtered out, nestpkg hides a flagged package
+		// under its own testdata dir that recursive walks must skip.
+		"buildtags": {},
+		"nestpkg":   {},
 		// The fake internal/tensor, internal/nn, and internal/graph packages
-		// the hotpathalloc goldens import (suffix-matched like the real
-		// ones); no findings.
+		// the hotpathalloc and aliasunsafe goldens import (suffix-matched
+		// like the real ones); no findings.
 		"tensor":      {},
 		"nn":          {},
 		"graph":       {},
@@ -141,7 +155,7 @@ func TestJSONReportShape(t *testing.T) {
 }
 
 // moduleRoot locates the repository root for tests that run the driver.
-func moduleRoot(t *testing.T) string {
+func moduleRoot(t testing.TB) string {
 	t.Helper()
 	wd, err := os.Getwd()
 	if err != nil {
@@ -154,9 +168,48 @@ func moduleRoot(t *testing.T) string {
 	return root
 }
 
+// suppressionRowRe matches one row of DESIGN.md's "Suppression inventory"
+// table: | `file` | `rule` | count |
+var suppressionRowRe = regexp.MustCompile("^\\|\\s*`([^`]+)`\\s*\\|\\s*`([^`]+)`\\s*\\|\\s*(\\d+)\\s*\\|")
+
+// documentedSuppressions parses the suppression-inventory table out of
+// DESIGN.md, keyed "file<TAB>rule".
+func documentedSuppressions(t *testing.T, root string) map[string]int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := map[string]int{}
+	in := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, "#") {
+			in = strings.Contains(line, "Suppression inventory")
+			continue
+		}
+		if !in {
+			continue
+		}
+		m := suppressionRowRe.FindStringSubmatch(line)
+		if m == nil || m[1] == "File" {
+			continue
+		}
+		n, err := strconv.Atoi(m[3])
+		if err != nil {
+			t.Fatalf("bad count in DESIGN.md suppression row %q: %v", line, err)
+		}
+		doc[m[1]+"\t"+m[2]] = n
+	}
+	if len(doc) == 0 {
+		t.Fatal("DESIGN.md has no parseable 'Suppression inventory' table")
+	}
+	return doc
+}
+
 // TestRepositoryLintClean is the self-clean meta-test: the tree must lint
-// clean, and the only suppressions present must be the documented ones
-// (DESIGN.md, "Enforced invariants").
+// clean under the full nine-rule suite, and the //lint:ignore directives
+// present — file, rule, and count — must exactly match the DESIGN.md
+// "Suppression inventory" table. Docs and code cannot drift apart.
 func TestRepositoryLintClean(t *testing.T) {
 	root := moduleRoot(t)
 	res, err := Load(root)
@@ -168,39 +221,38 @@ func TestRepositoryLintClean(t *testing.T) {
 		t.Errorf("repository not lint-clean: %v", f)
 	}
 
-	documented := map[string]int{
-		"internal/baseline/tree.go": 3, // integer-valued count purity + two sorted-scan duplicate skips
-		"internal/core/frozen32.go": 1, // bit-exact sort comparator (float32 tier)
-		"internal/core/model.go":    1, // one-shot Forward builds its own propagator
-		"internal/core/sortpool.go": 1, // bit-exact sort comparator
-		"internal/obs/registry.go":  1, // bit-identical histogram bucket re-registration
-	}
+	documented := documentedSuppressions(t, root)
 	gotSup := map[string]int{}
 	for _, u := range res.Units {
+		if u.Testdata {
+			continue // golden packages document their own suppressions
+		}
 		for _, file := range u.Files {
 			for _, cg := range file.Comments {
 				for _, c := range cg.List {
-					if strings.HasPrefix(strings.TrimSpace(c.Text), "//lint:ignore") {
-						p := res.Fset.Position(c.Pos())
-						rel, _ := filepath.Rel(root, p.Filename)
-						gotSup[filepath.ToSlash(rel)]++
+					m := ignoreRe.FindStringSubmatch(strings.TrimSpace(c.Text))
+					if m == nil {
+						continue
+					}
+					p := res.Fset.Position(c.Pos())
+					rel, _ := filepath.Rel(root, p.Filename)
+					for _, rule := range strings.Split(m[1], ",") {
+						gotSup[filepath.ToSlash(rel)+"\t"+rule]++
 					}
 				}
 			}
 		}
 	}
 	if !reflect.DeepEqual(gotSup, documented) {
-		t.Errorf("suppressions in tree = %v, want exactly the documented set %v", gotSup, documented)
+		t.Errorf("suppressions in tree = %v, want exactly the DESIGN.md inventory %v", gotSup, documented)
 	}
 }
 
-// TestDriverExitCodes builds cmd/magic-lint once and checks the contract
-// the CI gate relies on: exit 1 (with findings) on every flagged golden
-// package, exit 0 on the clean ones, and a parseable -json report.
-func TestDriverExitCodes(t *testing.T) {
-	if testing.Short() {
-		t.Skip("builds and runs the driver binary")
-	}
+// buildDriver compiles cmd/magic-lint into a temp dir and returns a runner
+// that executes it from the module root, yielding combined output and exit
+// code.
+func buildDriver(t *testing.T) func(args ...string) (string, int) {
+	t.Helper()
 	root := moduleRoot(t)
 	bin := filepath.Join(t.TempDir(), "magic-lint")
 	build := exec.Command("go", "build", "-o", bin, "./cmd/magic-lint")
@@ -208,8 +260,7 @@ func TestDriverExitCodes(t *testing.T) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build ./cmd/magic-lint: %v\n%s", err, out)
 	}
-
-	run := func(args ...string) (string, int) {
+	return func(args ...string) (string, int) {
 		t.Helper()
 		cmd := exec.Command(bin, args...)
 		cmd.Dir = root
@@ -224,8 +275,22 @@ func TestDriverExitCodes(t *testing.T) {
 		}
 		return buf.String(), code
 	}
+}
 
-	for _, pkg := range []string{"determinism", "metricnames", "errcheck", "replicacopy", "floatcmp", "hotpathalloc"} {
+// TestDriverExitCodes builds cmd/magic-lint once and checks the contract
+// the CI gate relies on: exit 1 (with findings) on every flagged golden
+// package, exit 0 on the clean ones, exit 2 on a package that fails to
+// type-check, and a parseable -json report.
+func TestDriverExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the driver binary")
+	}
+	run := buildDriver(t)
+
+	for _, pkg := range []string{
+		"determinism", "metricnames", "errcheck", "replicacopy", "floatcmp",
+		"hotpathalloc", "aliasunsafe", "frozenmut", "goroutinehygiene",
+	} {
 		bad := "./internal/lint/testdata/src/" + pkg + "_bad"
 		out, code := run(bad)
 		if code != 1 {
@@ -254,6 +319,209 @@ func TestDriverExitCodes(t *testing.T) {
 	for _, f := range doc.Findings {
 		if f.Rule != "floatcmp" || !strings.HasPrefix(f.File, "internal/lint/testdata/") {
 			t.Errorf("unexpected JSON finding: %+v", f)
+		}
+	}
+
+	// A package that fails type checking is a load error, not a panic.
+	out, code = run("./internal/lint/testdata/broken/badtypes")
+	if code != 2 {
+		t.Errorf("broken package: exit = %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "typecheck") {
+		t.Errorf("broken package: error does not mention typecheck:\n%s", out)
+	}
+}
+
+// TestReporterDedup pins the duplicate-collapse contract: the same rule at
+// the same position reports once — which the interprocedural rules rely on
+// when a call site is reachable through several call-graph parents — while
+// a different rule at the same position still gets through.
+func TestReporterDedup(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("x.go", -1, 100)
+	pos := f.Pos(10)
+	other := f.Pos(50)
+
+	r := &Reporter{fset: fset, root: "/"}
+	r.Report("aliasunsafe", pos, "first")
+	r.Report("aliasunsafe", pos, "second (dropped, even with a different message)")
+	r.Report("frozenmut", pos, "different rule, same position")
+	r.Report("aliasunsafe", other, "same rule, different position")
+	if len(r.out) != 3 {
+		t.Fatalf("reporter kept %d findings, want 3: %v", len(r.out), r.out)
+	}
+	if r.out[0].Message != "first" {
+		t.Errorf("dedup kept the wrong finding: %v", r.out[0])
+	}
+}
+
+// TestApplyBaseline pins the multiset matching and stale-entry detection.
+func TestApplyBaseline(t *testing.T) {
+	f1 := Finding{Rule: "floatcmp", File: "a.go", Line: 1, Col: 2, Message: "m"}
+	f2 := Finding{Rule: "errcheck", File: "b.go", Line: 3, Col: 4, Message: "n"}
+	gone := Finding{Rule: "floatcmp", File: "fixed.go", Line: 9, Col: 9, Message: "z"}
+
+	kept, stale := ApplyBaseline([]Finding{f1, f2}, &Report{Findings: []Finding{f1, gone}})
+	if !reflect.DeepEqual(kept, []Finding{f2}) {
+		t.Errorf("kept = %v, want [%v]", kept, f2)
+	}
+	if !reflect.DeepEqual(stale, []Finding{gone}) {
+		t.Errorf("stale = %v, want [%v]", stale, gone)
+	}
+
+	// Multiset semantics: one baseline entry absorbs at most one finding.
+	kept, stale = ApplyBaseline([]Finding{f1, f1}, &Report{Findings: []Finding{f1}})
+	if len(kept) != 1 || len(stale) != 0 {
+		t.Errorf("duplicate findings: kept=%v stale=%v, want one kept and none stale", kept, stale)
+	}
+
+	// A baseline entry may differ in message only — still no match.
+	mutated := f1
+	mutated.Message = "different"
+	_, stale = ApplyBaseline([]Finding{f1}, &Report{Findings: []Finding{mutated}})
+	if len(stale) != 1 {
+		t.Errorf("message mismatch should be stale, got stale=%v", stale)
+	}
+}
+
+// TestDriverBaseline exercises the -baseline flag end to end: a full
+// baseline silences the run, a partial one keeps the rest, and a stale
+// entry trips the drift gate with exit 2.
+func TestDriverBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the driver binary")
+	}
+	run := buildDriver(t)
+	target := "./internal/lint/testdata/src/floatcmp_bad"
+
+	out, code := run("-json", target)
+	if code != 1 {
+		t.Fatalf("-json on flagged package: exit = %d, want 1\n%s", code, out)
+	}
+	var doc Report
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-json output is not a Report: %v\n%s", err, out)
+	}
+	if doc.Count != 2 {
+		t.Fatalf("floatcmp_bad findings = %d, want 2", doc.Count)
+	}
+
+	writeBase := func(name string, rep Report) string {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, rep.Findings); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Full baseline: clean exit.
+	full := writeBase("full.json", doc)
+	if out, code := run("-baseline", full, target); code != 0 {
+		t.Errorf("full baseline: exit = %d, want 0\n%s", code, out)
+	}
+
+	// Partial baseline: the unlisted finding still fails the run.
+	partial := writeBase("partial.json", Report{Findings: doc.Findings[:1]})
+	out, code = run("-baseline", partial, target)
+	if code != 1 {
+		t.Errorf("partial baseline: exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, doc.Findings[1].Message) {
+		t.Errorf("partial baseline output lost the unlisted finding:\n%s", out)
+	}
+
+	// Stale entry: the drift gate rejects the whole run.
+	staleRep := doc
+	staleRep.Findings = append([]Finding{}, doc.Findings...)
+	staleRep.Findings = append(staleRep.Findings, Finding{
+		Rule: "floatcmp", File: "internal/does/not/exist.go", Line: 1, Col: 1, Message: "fixed long ago",
+	})
+	stale := writeBase("stale.json", staleRep)
+	out, code = run("-baseline", stale, target)
+	if code != 2 {
+		t.Errorf("stale baseline: exit = %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "stale baseline entry") {
+		t.Errorf("stale baseline output does not name the drift:\n%s", out)
+	}
+}
+
+// TestLoaderBuildTags pins the build-constraint filter: the buildtags
+// golden package contains a //go:build ignore file that would fail type
+// checking, so a successful load proves the file was excluded.
+func TestLoaderBuildTags(t *testing.T) {
+	res, err := Load(".", "./testdata/src/buildtags")
+	if err != nil {
+		t.Fatalf("Load buildtags: %v", err)
+	}
+	if len(res.Units) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(res.Units))
+	}
+	u := res.Units[0]
+	if len(u.Files) != 1 {
+		t.Errorf("buildtags loaded %d files, want 1 (excluded.go must be filtered)", len(u.Files))
+	}
+	if f := Run(res, Suite()); len(f) != 0 {
+		t.Errorf("buildtags package should be clean, got %v", f)
+	}
+}
+
+// TestLoaderSkipsNestedTestdata pins the recursive walk's testdata
+// exclusion: nestpkg's own testdata/inner package carries a blatant
+// floatcmp finding that must not surface recursively but must when the
+// directory is named directly.
+func TestLoaderSkipsNestedTestdata(t *testing.T) {
+	res, err := Load(".", "./testdata/src/nestpkg/...")
+	if err != nil {
+		t.Fatalf("Load nestpkg/...: %v", err)
+	}
+	if len(res.Units) != 1 || filepath.Base(res.Units[0].Dir) != "nestpkg" {
+		t.Fatalf("recursive load = %d units (first %v), want just nestpkg",
+			len(res.Units), res.Units)
+	}
+	if f := Run(res, Suite()); len(f) != 0 {
+		t.Errorf("nestpkg should be clean recursively, got %v", f)
+	}
+
+	direct, err := Load(".", "./testdata/src/nestpkg/testdata/inner")
+	if err != nil {
+		t.Fatalf("Load inner directly: %v", err)
+	}
+	f := Run(direct, Suite())
+	if len(f) != 1 || f[0].Rule != "floatcmp" {
+		t.Errorf("inner loaded directly: findings = %v, want one floatcmp", f)
+	}
+}
+
+// TestLoaderTypeErrorIsError pins the failure mode for broken source: a
+// package that does not type-check must surface as a load error (the
+// driver's exit 2), never a panic partway into analysis.
+func TestLoaderTypeErrorIsError(t *testing.T) {
+	_, err := Load(".", "./testdata/broken/badtypes")
+	if err == nil {
+		t.Fatal("Load of a type-broken package should fail")
+	}
+	if !strings.Contains(err.Error(), "typecheck") {
+		t.Errorf("error should name the typecheck phase: %v", err)
+	}
+}
+
+// BenchmarkLintModule is the CI wall-time benchmark: one whole-repo load
+// plus a full nine-rule run, interprocedural call-graph fixpoint included.
+func BenchmarkLintModule(b *testing.B) {
+	root := moduleRoot(b)
+	for i := 0; i < b.N; i++ {
+		res, err := Load(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f := Run(res, Suite()); len(f) != 0 {
+			b.Fatalf("repository not lint-clean: %v", f)
 		}
 	}
 }

@@ -41,6 +41,10 @@ type Result struct {
 // Module-internal imports resolve to freshly checked packages; everything
 // else (the standard library) is type-checked from GOROOT source via the
 // "source" importer, so the loader works without compiled export data.
+// Build constraints are honored per file: a //go:build-excluded file (or a
+// GOOS/GOARCH-suffixed file for another platform) is skipped exactly as
+// the go tool would skip it, instead of being force-fed to the type
+// checker.
 func Load(dir string, patterns ...string) (*Result, error) {
 	if dir == "" {
 		wd, err := os.Getwd()
@@ -260,6 +264,16 @@ func (l *loader) load(path string) (*Unit, error) {
 	for _, e := range ents {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		// Honor build constraints (//go:build lines and GOOS/GOARCH file
+		// suffixes) exactly as the go tool does: a tag-excluded file is
+		// not part of the package and must not be parsed or type-checked.
+		match, err := build.Default.MatchFile(dir, n)
+		if err != nil {
+			return nil, fmt.Errorf("lint: package %s: %s: %w", path, n, err)
+		}
+		if !match {
 			continue
 		}
 		names = append(names, n)

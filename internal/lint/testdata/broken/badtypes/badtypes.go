@@ -1,0 +1,8 @@
+// Package badtypes fails type checking on purpose: the loader must surface
+// a clean error (driver exit 2), not panic.
+package badtypes
+
+func Mismatched() int {
+	var s string = 42
+	return s
+}

@@ -1,0 +1,34 @@
+// Package aliasunsafe_bad is a magic-lint golden case for the aliasunsafe
+// rule. Expected findings: 4.
+package aliasunsafe_bad
+
+import "repro/internal/lint/testdata/src/aliasunsafe_bad/internal/tensor"
+
+// direct passes the same value as destination and source: one finding.
+func direct(x, w *tensor.Matrix) {
+	tensor.MatMulInto(x, x, w) // dst aliases source a
+}
+
+// throughLocal aliases through a plain copy: one finding.
+func throughLocal(x *tensor.Matrix) {
+	y := x
+	tensor.TInto(y, x) // y is x
+}
+
+// wrapper forwards its parameters into the kernel's dst and source
+// operands; it inherits the must-not-alias contract but is itself clean.
+func wrapper(dst, src, w *tensor.Matrix) {
+	tensor.MatMulInto(dst, src, w)
+}
+
+// outer adds a second wrapper layer on top.
+func outer(dst, src, w *tensor.Matrix) {
+	wrapper(dst, src, w)
+}
+
+// callers violates the inherited contract at both wrapper depths: two
+// findings.
+func callers(m, w *tensor.Matrix) {
+	wrapper(m, m, w) // same value into dst and src of the one-hop wrapper
+	outer(m, m, w)   // and through two layers
+}

@@ -1,0 +1,28 @@
+// Package tensor is a minimal stand-in for the module's internal/tensor,
+// shaped so the aliasunsafe golden package can call kernels the analyzer
+// suffix-matches like the real ones.
+package tensor
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func New(r, c int) *Matrix { return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)} }
+
+// MatMulInto mirrors the real aliasing-unsafe kernel: dst must not alias
+// a or b.
+func MatMulInto(dst, a, b *Matrix) { _ = dst.Data[0] }
+
+// TInto mirrors the real transpose kernel: dst must not alias m.
+func TInto(dst, m *Matrix) { _ = dst.Data[0] }
+
+// AddInto is elementwise: dst may alias a or b, and the analyzer must not
+// flag it.
+func AddInto(dst, a, b *Matrix) { _ = dst.Data[0] }
+
+// Workspace mirrors the real checkout API: every Matrix call returns a
+// fresh (or exclusively owned) buffer.
+type Workspace struct{}
+
+func (w *Workspace) Matrix(r, c int) *Matrix { return New(r, c) }

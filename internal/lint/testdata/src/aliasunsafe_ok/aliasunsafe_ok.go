@@ -1,0 +1,35 @@
+// Package aliasunsafe_ok is the clean twin of aliasunsafe_bad: kernel and
+// wrapper calls with distinct operands, workspace scratch, and elementwise
+// aliasing that is explicitly allowed. Expected findings: 0.
+package aliasunsafe_ok
+
+import "repro/internal/lint/testdata/src/aliasunsafe_ok/internal/tensor"
+
+// distinct uses separate destinations: clean.
+func distinct(x, w *tensor.Matrix) {
+	ws := &tensor.Workspace{}
+	out := ws.Matrix(x.Rows, w.Cols)
+	tensor.MatMulInto(out, x, w)
+
+	// Two checkouts are two fresh locations, never an alias.
+	a := ws.Matrix(x.Rows, x.Cols)
+	b := ws.Matrix(x.Cols, x.Rows)
+	tensor.TInto(b, a)
+}
+
+// elementwise aliasing is part of AddInto's contract and must not fire.
+func elementwise(x, y *tensor.Matrix) {
+	tensor.AddInto(x, x, y)
+}
+
+// wrapper inherits the kernel contract; honoring it at every call site is
+// clean.
+func wrapper(dst, src, w *tensor.Matrix) {
+	tensor.MatMulInto(dst, src, w)
+}
+
+func callers(m, w *tensor.Matrix) {
+	ws := &tensor.Workspace{}
+	dst := ws.Matrix(m.Rows, w.Cols)
+	wrapper(dst, m, w)
+}

@@ -1,0 +1,21 @@
+// Package tensor is the aliasunsafe_ok golden's stand-in for the module's
+// internal/tensor (see the aliasunsafe_bad twin).
+package tensor
+
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func New(r, c int) *Matrix { return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)} }
+
+func MatMulInto(dst, a, b *Matrix) { _ = dst.Data[0] }
+
+func TInto(dst, m *Matrix) { _ = dst.Data[0] }
+
+// AddInto is elementwise: dst may alias a or b.
+func AddInto(dst, a, b *Matrix) { _ = dst.Data[0] }
+
+type Workspace struct{}
+
+func (w *Workspace) Matrix(r, c int) *Matrix { return New(r, c) }

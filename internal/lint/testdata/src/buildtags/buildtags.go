@@ -1,0 +1,7 @@
+// Package buildtags exercises the loader's build-constraint filtering: its
+// sibling excluded.go carries a //go:build ignore constraint and would not
+// type-check, so loading succeeds only if the loader honors the tag.
+// Expected findings: 0.
+package buildtags
+
+func Answer() int { return 42 }

@@ -1,0 +1,7 @@
+//go:build ignore
+
+// This file must be excluded by the loader's build-constraint match: it
+// references an undeclared identifier and would fail type checking.
+package buildtags
+
+func Broken() int { return definitelyNotDeclaredAnywhere }

@@ -1,0 +1,9 @@
+// frozen32.go declares the golden package's frozen-tier snapshot type; the
+// analyzer recognizes frozen types by this file name, mirroring
+// internal/core/frozen32.go.
+package frozenmut_bad
+
+type Frozen32 struct {
+	Bias float32
+	Sub  Layer32
+}

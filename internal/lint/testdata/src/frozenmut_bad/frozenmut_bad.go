@@ -1,0 +1,39 @@
+// Package frozenmut_bad is a magic-lint golden case for the frozenmut
+// rule. Expected findings: 4.
+package frozenmut_bad
+
+var shared = &Frozen32{}
+
+// NewFrozen is construction: writes to a value built right here are clean.
+func NewFrozen(b float32) *Frozen32 {
+	f := &Frozen32{}
+	f.Bias = b
+	return f
+}
+
+// SetBias mutates through the receiver: one finding.
+func (f *Frozen32) SetBias(v float32) {
+	f.Bias = v
+}
+
+// clobber mutates through a parameter: one finding.
+func clobber(f *Frozen32) {
+	f.Bias = 0
+}
+
+// poke mutates the shared package-level snapshot: one finding.
+func poke() {
+	shared.Bias++
+}
+
+// bump writes through a plain *Layer32 and is itself clean — Layer32 is
+// not frozen.
+func bump(l *Layer32) {
+	l.N++
+}
+
+// tweak hands bump memory reachable from a frozen snapshot: one finding at
+// the call site.
+func tweak(f *Frozen32) {
+	bump(&f.Sub)
+}

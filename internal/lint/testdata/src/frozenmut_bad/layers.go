@@ -1,0 +1,6 @@
+package frozenmut_bad
+
+// Layer32 is a nested block of the snapshot. It lives outside frozen32.go,
+// so a helper writing through *Layer32 is not itself a frozen write — the
+// finding lands on the call site that reaches it from a Frozen32.
+type Layer32 struct{ N float32 }

@@ -1,0 +1,7 @@
+// frozen32.go declares the clean twin's frozen-tier snapshot type.
+package frozenmut_ok
+
+type Frozen32 struct {
+	Bias float32
+	Gain float32
+}

@@ -1,0 +1,28 @@
+// Package frozenmut_ok is the clean twin of frozenmut_bad: construction
+// writes, reads, and mutation of non-frozen scratch. Expected findings: 0.
+package frozenmut_ok
+
+// NewFrozen populates a snapshot it just built: construction, clean.
+func NewFrozen(b, g float32) *Frozen32 {
+	f := &Frozen32{}
+	f.Bias = b
+	f.Gain = g
+	return f
+}
+
+// read only observes the snapshot.
+func read(f *Frozen32) float32 {
+	return f.Bias + f.Gain
+}
+
+// scratch is mutable working state, not a frozen type.
+type scratch struct{ n int }
+
+func grow(s *scratch) {
+	s.n++
+}
+
+func use(f *Frozen32, s *scratch) float32 {
+	grow(s)
+	return read(f)
+}

@@ -1,0 +1,29 @@
+// Package goroutinehygiene_bad is a magic-lint golden case for the
+// goroutinehygiene rule. Expected findings: 4.
+package goroutinehygiene_bad
+
+import "context"
+
+var sink int
+
+// work is pure computation: no WaitGroup, channel, or context anywhere.
+func work() { sink++ }
+
+// chain is transitively pure; spawning it is just as untied as spawning
+// work directly.
+func chain() { work() }
+
+// spawnAll fires three unjoinable goroutines: three findings.
+func spawnAll() {
+	go func() { work() }() // bare closure
+	go work()              // bare named spawn
+	go chain()             // transitively pure named spawn
+}
+
+// handle already carries a request context but manufactures a fresh root:
+// one finding.
+func handle(ctx context.Context) {
+	c := context.Background()
+	_ = c
+	_ = ctx
+}

@@ -1,0 +1,58 @@
+// Package goroutinehygiene_ok is the clean twin of goroutinehygiene_bad:
+// every goroutine observes a WaitGroup, stop channel, or context — directly,
+// via an anchor-typed argument, or transitively through its callees — and
+// context roots are only created outside request paths. Expected findings: 0.
+package goroutinehygiene_ok
+
+import (
+	"context"
+	"sync"
+)
+
+var sink int
+
+func work() { sink++ }
+
+var done = make(chan struct{})
+
+// waitOn observes a channel; anything spawning it transitively observes too.
+func waitOn() { <-done }
+
+func observes() { waitOn() }
+
+func worker(stop chan struct{}) { <-stop }
+
+func waiter(ctx context.Context) { <-ctx.Done() }
+
+func tied(ctx context.Context, stop chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // joins the WaitGroup
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+
+	go func() { // selects on the stop channel
+		select {
+		case <-stop:
+		}
+	}()
+
+	go worker(stop) // anchor-typed argument
+	go waiter(ctx)  // context argument
+	go observes()   // transitively channel-observing callee
+}
+
+// handle derives from the incoming context instead of minting a root.
+func handle(ctx context.Context) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = cctx
+}
+
+// startup has no incoming context, so a fresh root is legitimate here.
+func startup() {
+	ctx := context.Background()
+	_ = ctx
+}

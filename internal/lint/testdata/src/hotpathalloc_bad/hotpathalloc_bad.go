@@ -1,5 +1,5 @@
 // Package hotpathalloc_bad is a magic-lint golden case for the
-// hotpathalloc rule. Expected findings: 7.
+// hotpathalloc rule. Expected findings: 9.
 package hotpathalloc_bad
 
 import (
@@ -38,4 +38,27 @@ func (l *GraphLayer) Forward(g *graph.Directed, x *tensor.Matrix) *tensor.Matrix
 	out := csr.Dense()     // densifying the sparse operator
 	csr.SpMMInto(out, x)
 	return out
+}
+
+// buildScratch hides an allocation one call behind the hot path.
+func buildScratch(r, c int) *tensor.Matrix {
+	return tensor.New(r, c)
+}
+
+// level2 reaches the constructor two hops down.
+func level2(r, c int) *tensor.Matrix {
+	return buildScratch(r, c)
+}
+
+type DeepLayer struct {
+	w *tensor.Matrix
+}
+
+// Forward allocates only through helpers; the summaries carry the fact back
+// up, so factoring the allocation out no longer hides it: two findings.
+func (l *DeepLayer) Forward(x *tensor.Matrix) *tensor.Matrix {
+	a := buildScratch(x.Rows, l.w.Cols) // one hop from tensor.New
+	b := level2(x.Rows, l.w.Cols)       // two hops from tensor.New
+	_ = a
+	return b
 }

@@ -1,0 +1,5 @@
+// Package inner lives under nestpkg/testdata and is skipped by recursive
+// walks; loaded directly it yields one floatcmp finding.
+package inner
+
+func Same(a, b float64) bool { return a == b }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 )
@@ -216,8 +217,9 @@ func equalFloats(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
-		//lint:ignore floatcmp re-registration demands bit-identical bucket bounds, not approximately equal ones
-		if a[i] != b[i] {
+		// Re-registration demands bit-identical bucket bounds, not
+		// approximately equal ones.
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
 			return false
 		}
 	}
