@@ -17,9 +17,12 @@
 // holds a model checkpoint from a previous run).
 //
 // With -state-dir the server is crash-safe: every accepted sample is
-// appended to a fsynced JSONL WAL, the model is checkpointed atomically
-// when a training job succeeds, and both are replayed on startup so a
-// restart resumes serving where the previous process stopped. On SIGINT or
+// appended to a fsynced JSONL WAL, a background compactor folds the WAL
+// into immutable binary segments once it passes -compact-bytes, the model
+// is checkpointed atomically when a training job succeeds, and all tiers
+// are replayed on startup so a restart resumes serving where the previous
+// process stopped. The directory is held under an exclusive lock; a second
+// server pointed at it exits with status 2. On SIGINT or
 // SIGTERM the server drains in-flight requests (http.Server.Shutdown),
 // cancels any running training job cooperatively, writes a final model
 // checkpoint, and exits cleanly.
@@ -60,6 +63,12 @@ const shutdownTimeout = 15 * time.Second
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "magic-server:", err)
+		// A locked state directory means another live server owns it;
+		// exit 2 so supervisors can distinguish the contention from
+		// ordinary startup failures instead of crash-looping over a lock.
+		if errors.Is(err, service.ErrStateDirLocked) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -69,7 +78,8 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	familiesFlag := fs.String("families", "", "comma-separated family universe")
 	modelPath := fs.String("model", "", "preload a trained model")
-	stateDir := fs.String("state-dir", "", "durable state directory (corpus WAL + model checkpoint); empty = in-memory only")
+	stateDir := fs.String("state-dir", "", "durable state directory (corpus WAL + segments + model checkpoint); empty = in-memory only")
+	compactBytes := fs.Int64("compact-bytes", 4<<20, "WAL size that triggers background compaction into binary corpus segments (0 disables)")
 	demo := fs.Bool("demo", false, "seed with a synthetic corpus and train before serving")
 	demoSamples := fs.Int("demo-samples", 150, "demo corpus size")
 	epochs := fs.Int("epochs", 12, "default training epochs")
@@ -115,6 +125,7 @@ func run(args []string) error {
 		}
 		haveModel = loaded
 		log.Printf("state: %s replayed %d corpus samples, model checkpoint: %v", *stateDir, replayed, loaded)
+		srv.EnableCompaction(*compactBytes, log.Printf)
 	}
 
 	if *modelPath != "" {

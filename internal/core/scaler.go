@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/acfg"
+	"repro/internal/dataset"
 	"repro/internal/tensor"
 )
 
@@ -62,6 +63,68 @@ func FitScaler(samples []*acfg.ACFG) *Scaler {
 		}
 	}
 	return s
+}
+
+// FitScalerFrom computes the same statistics as FitScaler over a streaming
+// source, decoding each sample on demand so fitting never needs the corpus
+// resident. The two passes visit samples in the same order and accumulate
+// in the same sequence as FitScaler, so for equal sample sequences the
+// fitted statistics are bit-identical.
+func FitScalerFrom(src dataset.SampleSource) (*Scaler, error) {
+	if src.Len() == 0 {
+		return nil, nil
+	}
+	first, err := src.At(0)
+	if err != nil {
+		return nil, err
+	}
+	dim := first.ACFG.Attrs.Cols
+	s := &Scaler{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	count := 0.0
+	for i := 0; i < src.Len(); i++ {
+		smp, err := src.At(i)
+		if err != nil {
+			return nil, err
+		}
+		a := smp.ACFG
+		for r := 0; r < a.Attrs.Rows; r++ {
+			row := a.Attrs.Row(r)
+			for c, v := range row {
+				s.Mean[c] += v
+			}
+			count++
+		}
+	}
+	if count == 0 {
+		for c := range s.Std {
+			s.Std[c] = 1
+		}
+		return s, nil
+	}
+	for c := range s.Mean {
+		s.Mean[c] /= count
+	}
+	for i := 0; i < src.Len(); i++ {
+		smp, err := src.At(i)
+		if err != nil {
+			return nil, err
+		}
+		a := smp.ACFG
+		for r := 0; r < a.Attrs.Rows; r++ {
+			row := a.Attrs.Row(r)
+			for c, v := range row {
+				d := v - s.Mean[c]
+				s.Std[c] += d * d
+			}
+		}
+	}
+	for c := range s.Std {
+		s.Std[c] = math.Sqrt(s.Std[c] / count)
+		if s.Std[c] < 1e-9 {
+			s.Std[c] = 1
+		}
+	}
+	return s, nil
 }
 
 // Transform returns the standardized copy of an attribute matrix.

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/nn"
+)
+
+// StreamSession is the streaming counterpart of TrainSession: it pulls
+// samples from a dataset.SampleSource one mini-batch at a time, so a training
+// run over a disk-backed corpus holds at most BatchSize decoded samples
+// (and their propagators) in memory instead of the whole dataset.
+//
+// Determinism contract: for the same model config and the same sample
+// sequence, StreamSession produces bit-identical parameters to
+// TrainSession — same seed derivation, same shuffle, same per-sample
+// dropout seeds keyed on the source index, same slot-order aggregation.
+// stream_test.go pins the equivalence down against a segment-backed
+// source. Like TrainSession, a StreamSession drives one model and is not
+// safe for concurrent use.
+type StreamSession struct {
+	m       *Model
+	src     dataset.SampleSource
+	engine  *ParallelBatch
+	opt     nn.Optimizer
+	rng     *rand.Rand
+	props   []*graph.Propagator // batch-slot pool, rebuilt in place per sample
+	order   []int
+	swap    func(i, j int)
+	tasks   []sampleTask
+	results []sampleResult
+	stop    <-chan struct{}
+	epoch   int
+}
+
+// NewStreamSession fits the attribute scaler by streaming over src (or
+// keeps the model's scaler under opts.PreserveScaler), builds the
+// data-parallel engine, and prepares the optimizer and batch-sized
+// buffers. Unlike NewTrainSession it builds no per-sample propagator
+// cache — propagators live in a BatchSize-slot pool rebuilt in place as
+// samples stream through.
+func NewStreamSession(m *Model, src dataset.SampleSource, opts TrainOptions) (*StreamSession, error) {
+	if src.Len() == 0 {
+		return nil, fmt.Errorf("core: empty training set")
+	}
+	cfg := m.Config
+	if !(opts.PreserveScaler && m.Scaler() != nil) {
+		sc, err := FitScalerFrom(src)
+		if err != nil {
+			return nil, err
+		}
+		m.SetScaler(sc)
+	}
+
+	engine, err := NewParallelBatch(m, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s := &StreamSession{
+		m:       m,
+		src:     src,
+		engine:  engine,
+		opt:     nn.NewAdam(m.Params(), cfg.LearningRate, cfg.WeightDecay),
+		rng:     rand.New(rand.NewSource(cfg.Seed + 1)),
+		props:   make([]*graph.Propagator, cfg.BatchSize),
+		order:   make([]int, src.Len()),
+		tasks:   make([]sampleTask, 0, cfg.BatchSize),
+		results: make([]sampleResult, cfg.BatchSize),
+		stop:    opts.Stop,
+	}
+	for i := range s.order {
+		s.order[i] = i
+	}
+	s.swap = func(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+	return s, nil
+}
+
+// Epoch returns the zero-based index of the next epoch RunEpoch will run.
+func (s *StreamSession) Epoch() int { return s.epoch }
+
+// Optimizer exposes the session's optimizer for learning-rate scheduling.
+func (s *StreamSession) Optimizer() nn.Optimizer { return s.opt }
+
+// Engine exposes the session's data-parallel batch engine.
+func (s *StreamSession) Engine() *ParallelBatch { return s.engine }
+
+// Model returns the session's model.
+func (s *StreamSession) Model() *Model { return s.m }
+
+// RunEpoch executes one full shuffled pass of mini-batch training,
+// decoding each sample from the source as its batch comes up, and returns
+// the epoch's mean NLL and argmax accuracy over the training set.
+func (s *StreamSession) RunEpoch() (trainLoss, trainAcc float64, err error) {
+	cfg := s.m.Config
+	s.rng.Shuffle(len(s.order), s.swap)
+	trainHits := 0
+	for start := 0; start < len(s.order); start += cfg.BatchSize {
+		if stopRequested(s.stop) {
+			return 0, 0, ErrCancelled
+		}
+		end := start + cfg.BatchSize
+		if end > len(s.order) {
+			end = len(s.order)
+		}
+		s.tasks = s.tasks[:0]
+		for k, idx := range s.order[start:end] {
+			smp, err := s.src.At(idx)
+			if err != nil {
+				return 0, 0, err
+			}
+			// Rebuild the slot's propagator in place rather than allocating
+			// one per sample; the operator is identical to a fresh build, so
+			// determinism is unaffected.
+			if s.props[k] == nil {
+				s.props[k] = graph.NewPropagator(smp.ACFG.Graph)
+			} else {
+				s.props[k].Rebuild(smp.ACFG.Graph)
+			}
+			s.tasks = append(s.tasks, sampleTask{
+				prop:  s.props[k],
+				a:     smp.ACFG,
+				label: smp.Label,
+				// Seed keys on the source index, exactly as TrainSession keys
+				// on the dataset index, so dropout masks match sample-for-sample.
+				seed: sampleSeed(cfg.Seed, s.epoch, idx),
+			})
+		}
+		batch := s.results[:len(s.tasks)]
+		if err := s.engine.TrainBatch(s.tasks, batch); err != nil {
+			return 0, 0, err
+		}
+		for _, r := range batch {
+			trainLoss += r.loss
+			if r.hit {
+				trainHits++
+			}
+		}
+		stepBatch(s.opt, end-start)
+	}
+	s.epoch++
+	n := float64(s.src.Len())
+	return trainLoss / n, float64(trainHits) / n, nil
+}
+
+// TrainStream is Train over a streaming source: identical orchestration
+// (plateau schedule, validation monitoring, best-epoch restore, early
+// stopping, observers) with the per-epoch pass pulling samples through
+// src instead of a resident dataset. For the same sample sequence it is
+// bit-identical to Train.
+func TrainStream(m *Model, train dataset.SampleSource, val *dataset.Dataset, opts TrainOptions) (*History, error) {
+	sess, err := NewStreamSession(m, train, opts)
+	if err != nil {
+		return nil, err
+	}
+	return trainLoop(m, sess, val, opts)
+}

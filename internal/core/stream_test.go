@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+)
+
+// streamFixture builds a small two-class dataset plus a held-out validation
+// set with the determinism config (dropout enabled — the hardest state to
+// keep identical between the resident and streaming paths).
+func streamFixture(t *testing.T) (*dataset.Dataset, *dataset.Dataset, Config) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	train := twoClassDataset(rng, 8)
+	val := twoClassDataset(rng, 3)
+	cfg := determinismConfig()
+	return train, val, cfg
+}
+
+func trainBytes(t *testing.T, cfg Config, train *dataset.Dataset, val *dataset.Dataset) (*History, []byte) {
+	t.Helper()
+	m, err := NewModel(cfg, train.Sizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := Train(m, train, val, TrainOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return hist, buf.Bytes()
+}
+
+func trainStreamBytes(t *testing.T, cfg Config, src dataset.SampleSource, sizes []int, val *dataset.Dataset) (*History, []byte) {
+	t.Helper()
+	m, err := NewModel(cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := TrainStream(m, src, val, TrainOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return hist, buf.Bytes()
+}
+
+func sameHistory(t *testing.T, a, b *History) {
+	t.Helper()
+	if len(a.TrainLoss) != len(b.TrainLoss) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(a.TrainLoss), len(b.TrainLoss))
+	}
+	for i := range a.TrainLoss {
+		if a.TrainLoss[i] != b.TrainLoss[i] {
+			t.Fatalf("epoch %d train loss differs: %v vs %v", i, a.TrainLoss[i], b.TrainLoss[i])
+		}
+	}
+	for i := range a.ValLoss {
+		if a.ValLoss[i] != b.ValLoss[i] {
+			t.Fatalf("epoch %d val loss differs: %v vs %v", i, a.ValLoss[i], b.ValLoss[i])
+		}
+	}
+	if a.BestEpoch != b.BestEpoch {
+		t.Fatalf("best epoch differs: %d vs %d", a.BestEpoch, b.BestEpoch)
+	}
+}
+
+// TestTrainStreamMatchesTrain pins the streaming determinism contract: for
+// the same sample sequence, TrainStream over an in-memory SampleSource
+// produces the SAME loss curves and serialized parameters as Train.
+func TestTrainStreamMatchesTrain(t *testing.T) {
+	train, val, cfg := streamFixture(t)
+
+	histA, bytesA := trainBytes(t, cfg, train, val)
+	histB, bytesB := trainStreamBytes(t, cfg, train, train.Sizes(), val)
+
+	sameHistory(t, histA, histB)
+	if !bytes.Equal(bytesA, bytesB) {
+		t.Fatal("streaming training diverged from in-memory training (serialized models differ)")
+	}
+}
+
+// TestTrainStreamFromSegments proves the full streaming path: samples are
+// written to a committed corpus segment, re-read record by record through a
+// corpus.Source during training, and still produce bit-identical parameters
+// to in-memory training. This is the property that lets production train
+// from the durable corpus without materializing it.
+func TestTrainStreamFromSegments(t *testing.T) {
+	train, val, cfg := streamFixture(t)
+
+	dir := t.TempDir()
+	w, err := corpus.NewWriter(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := train.Families
+	for _, s := range train.Samples {
+		rec := &corpus.Record{
+			Family: families[s.Label],
+			Name:   s.Name,
+			Hash:   s.ACFG.ContentHash(),
+			ACFG:   s.ACFG,
+		}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := corpus.OpenSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := set.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	src := corpus.NewSource(set, families)
+	if src.Len() != train.Len() || src.NumClasses() != len(families) {
+		t.Fatalf("source shape %d/%d, want %d/%d", src.Len(), src.NumClasses(), train.Len(), len(families))
+	}
+
+	histA, bytesA := trainBytes(t, cfg, train, val)
+	histB, bytesB := trainStreamBytes(t, cfg, src, train.Sizes(), val)
+
+	sameHistory(t, histA, histB)
+	if !bytes.Equal(bytesA, bytesB) {
+		t.Fatal("segment-streamed training diverged from in-memory training (serialized models differ)")
+	}
+}
+
+// TestPreserveScalerSkipsRefit verifies that PreserveScaler keeps the
+// model's fitted statistics across a fine-tuning run instead of refitting
+// on the (differently distributed) increment.
+func TestPreserveScalerSkipsRefit(t *testing.T) {
+	train, _, cfg := streamFixture(t)
+	m, err := NewModel(cfg, train.Sizes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(m, train, nil, TrainOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fitted := m.Scaler()
+	if fitted == nil {
+		t.Fatal("training left no scaler on the model")
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	increment := twoClassDataset(rng, 4)
+	if _, err := NewStreamSession(m, increment, TrainOptions{Workers: 1, PreserveScaler: true}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Scaler() != fitted {
+		t.Fatal("PreserveScaler did not keep the fitted scaler")
+	}
+	if _, err := NewStreamSession(m, increment, TrainOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Scaler() == fitted {
+		t.Fatal("without PreserveScaler the scaler should be refitted")
+	}
+}

@@ -112,6 +112,13 @@ type TrainOptions struct {
 	// batch engine decomposes batches into worker-independent shards and
 	// reduces gradients in a fixed tree order (see ParallelBatch).
 	Workers int
+	// PreserveScaler keeps the model's already-fitted attribute scaler
+	// instead of refitting on the training set. Continual fine-tuning
+	// depends on this: the increment's statistics would shift every input
+	// the frozen layers were trained against, so the base model's scaler
+	// must keep applying verbatim. It is ignored when the model has no
+	// scaler yet.
+	PreserveScaler bool
 	// Stop, when non-nil, requests cooperative cancellation: it is polled
 	// before every mini-batch, and once it is closed (or receives a value)
 	// Train abandons the run and returns ErrCancelled. Cancellation latency
@@ -169,7 +176,9 @@ func NewTrainSession(m *Model, train *dataset.Dataset, opts TrainOptions) (*Trai
 		return nil, fmt.Errorf("core: empty training set")
 	}
 	cfg := m.Config
-	m.SetScaler(FitScaler(acfgsOf(train)))
+	if !(opts.PreserveScaler && m.Scaler() != nil) {
+		m.SetScaler(FitScaler(acfgsOf(train)))
+	}
 
 	engine, err := NewParallelBatch(m, opts.Workers)
 	if err != nil {
@@ -199,6 +208,10 @@ func (s *TrainSession) Epoch() int { return s.epoch }
 
 // Optimizer exposes the session's optimizer for learning-rate scheduling.
 func (s *TrainSession) Optimizer() nn.Optimizer { return s.opt }
+
+// Engine exposes the session's data-parallel batch engine (validation
+// sweeps reuse it).
+func (s *TrainSession) Engine() *ParallelBatch { return s.engine }
 
 // Model returns the session's model.
 func (s *TrainSession) Model() *Model { return s.m }
@@ -259,14 +272,30 @@ func (s *TrainSession) RunEpoch() (trainLoss, trainAcc float64, err error) {
 // deterministic: for a fixed Config.Seed the loss curves and final
 // parameters are bit-identical at every worker count (see ParallelBatch).
 func Train(m *Model, train, val *dataset.Dataset, opts TrainOptions) (*History, error) {
-	cfg := m.Config
 	sess, err := NewTrainSession(m, train, opts)
 	if err != nil {
 		return nil, err
 	}
-	sched := nn.NewPlateauScheduler(sess.opt)
-	engine := sess.engine
-	opt := sess.opt
+	return trainLoop(m, sess, val, opts)
+}
+
+// epochSession is the common surface Train and TrainStream drive: one
+// shuffled training pass per RunEpoch, plus the optimizer and batch engine
+// the outer loop needs for plateau scheduling and validation sweeps.
+type epochSession interface {
+	RunEpoch() (trainLoss, trainAcc float64, err error)
+	Optimizer() nn.Optimizer
+	Engine() *ParallelBatch
+}
+
+// trainLoop is the epoch orchestration shared by Train and TrainStream:
+// plateau scheduling, validation sweeps, best-parameter snapshots, early
+// stopping and observer fan-out around an epochSession.
+func trainLoop(m *Model, sess epochSession, val *dataset.Dataset, opts TrainOptions) (*History, error) {
+	cfg := m.Config
+	sched := nn.NewPlateauScheduler(sess.Optimizer())
+	engine := sess.Engine()
+	opt := sess.Optimizer()
 
 	hist := &History{BestValLoss: -1}
 	var best []*tensor.Matrix

@@ -1,0 +1,306 @@
+package corpus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment and index file naming: corpus-000001.seg / corpus-000001.idx.
+// The index rename is the commit point — a .seg without its .idx is an
+// interrupted compaction and is swept on open (its records are still in
+// the WAL, which is only truncated after the index is durable).
+const (
+	segSuffix = ".seg"
+	idxSuffix = ".idx"
+	segPrefix = "corpus-"
+)
+
+// File magics, 8 bytes each. The \r\n tail catches text-mode mangling.
+var (
+	segMagic = [8]byte{'M', 'C', 'S', 'E', 'G', '1', '\r', '\n'}
+	idxMagic = [8]byte{'M', 'C', 'I', 'D', 'X', '1', '\r', '\n'}
+)
+
+// castagnoli is the CRC-32C polynomial table used for record and index
+// checksums (hardware-accelerated on every platform Go targets).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeaderLen is the per-record framing overhead: uint32 payload length
+// plus uint32 CRC-32C of the payload.
+const frameHeaderLen = 8
+
+// maxRecordLen bounds a single record frame; larger claims are corruption.
+const maxRecordLen = 1 << 30
+
+// SegmentPath returns the segment file path for a sequence number.
+func SegmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%06d%s", segPrefix, seq, segSuffix))
+}
+
+func idxPathFor(segPath string) string {
+	return strings.TrimSuffix(segPath, segSuffix) + idxSuffix
+}
+
+// seqOf parses the sequence number out of a segment or index filename.
+func seqOf(name string) (uint64, bool) {
+	base := filepath.Base(name)
+	if !strings.HasPrefix(base, segPrefix) {
+		return 0, false
+	}
+	core := strings.TrimPrefix(base, segPrefix)
+	core = strings.TrimSuffix(strings.TrimSuffix(core, segSuffix), idxSuffix)
+	n, err := strconv.ParseUint(core, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Writer stages one segment (records plus offset index) as temporary
+// files; Commit makes both durable and visible atomically. A Writer whose
+// Commit was not reached must be Aborted to release the temp files.
+type Writer struct {
+	dir     string
+	seq     uint64
+	f       *os.File
+	tmpSeg  string
+	offsets []int64
+	off     int64
+	buf     []byte
+}
+
+// NewWriter opens a staging segment with the given sequence number in dir.
+func NewWriter(dir string, seq uint64) (*Writer, error) {
+	f, err := os.CreateTemp(dir, segPrefix+"*.tmp-seg")
+	if err != nil {
+		return nil, fmt.Errorf("corpus: stage segment: %w", err)
+	}
+	w := &Writer{dir: dir, seq: seq, f: f, tmpSeg: f.Name()}
+	if _, err := f.Write(segMagic[:]); err != nil {
+		w.Abort()
+		return nil, fmt.Errorf("corpus: write segment magic: %w", err)
+	}
+	w.off = int64(len(segMagic))
+	return w, nil
+}
+
+// Append encodes one record into the staging segment.
+func (w *Writer) Append(r *Record) error {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	w.buf = appendRecord(w.buf, r)
+	payload := w.buf[frameHeaderLen:]
+	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("corpus: append record: %w", err)
+	}
+	w.offsets = append(w.offsets, w.off)
+	w.off += int64(len(w.buf))
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (w *Writer) Count() int { return len(w.offsets) }
+
+// Commit makes the segment durable: fsync the staged segment, stage and
+// fsync the index, rename segment then index into place, and fsync the
+// directory so both names survive power loss. It returns the committed
+// segment path. The index rename is the commit point; on any error the
+// temp files are removed and nothing becomes visible.
+func (w *Writer) Commit() (string, error) {
+	segPath := SegmentPath(w.dir, w.seq)
+	if err := w.f.Sync(); err != nil {
+		w.Abort()
+		return "", fmt.Errorf("corpus: sync segment: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.f = nil
+		w.Abort()
+		return "", fmt.Errorf("corpus: close segment: %w", err)
+	}
+	w.f = nil
+
+	idx := encodeIndex(w.offsets, w.off)
+	tmpIdx, err := writeTempFile(w.dir, segPrefix+"*.tmp-idx", idx)
+	if err != nil {
+		w.Abort()
+		return "", err
+	}
+	if err := os.Rename(w.tmpSeg, segPath); err != nil {
+		_ = os.Remove(tmpIdx)
+		w.Abort()
+		return "", fmt.Errorf("corpus: publish segment: %w", err)
+	}
+	w.tmpSeg = ""
+	if err := os.Rename(tmpIdx, idxPathFor(segPath)); err != nil {
+		_ = os.Remove(tmpIdx)
+		return "", fmt.Errorf("corpus: publish index: %w", err)
+	}
+	if err := SyncDir(w.dir); err != nil {
+		return "", err
+	}
+	return segPath, nil
+}
+
+// Abort discards the staged files. Safe to call after a failed Commit.
+func (w *Writer) Abort() {
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+	if w.tmpSeg != "" {
+		_ = os.Remove(w.tmpSeg)
+		w.tmpSeg = ""
+	}
+}
+
+// encodeIndex lays out the index file: magic, record count, absolute frame
+// offsets, total segment byte size, then a CRC-32C over everything after
+// the magic.
+func encodeIndex(offsets []int64, segSize int64) []byte {
+	buf := make([]byte, 0, len(idxMagic)+4+len(offsets)*8+8+4)
+	buf = append(buf, idxMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(offsets)))
+	for _, off := range offsets {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(off))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(segSize))
+	sum := crc32.Checksum(buf[len(idxMagic):], castagnoli)
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// decodeIndex parses and validates an index file's bytes.
+func decodeIndex(b []byte) (offsets []int64, segSize int64, err error) {
+	if len(b) < len(idxMagic)+4+8+4 || [8]byte(b[:8]) != idxMagic {
+		return nil, 0, fmt.Errorf("corpus: index magic/size invalid")
+	}
+	body, tail := b[len(idxMagic):len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, 0, fmt.Errorf("corpus: index checksum mismatch")
+	}
+	count := binary.LittleEndian.Uint32(body)
+	body = body[4:]
+	if len(body) != int(count)*8+8 {
+		return nil, 0, fmt.Errorf("corpus: index claims %d records in %d bytes", count, len(body))
+	}
+	offsets = make([]int64, count)
+	for i := range offsets {
+		offsets[i] = int64(binary.LittleEndian.Uint64(body[i*8:]))
+	}
+	segSize = int64(binary.LittleEndian.Uint64(body[len(offsets)*8:]))
+	return offsets, segSize, nil
+}
+
+// writeTempFile stages data as a fsynced temp file in dir and returns its
+// path.
+func writeTempFile(dir, pattern string, data []byte) (string, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return "", fmt.Errorf("corpus: stage file: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("corpus: stage file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("corpus: stage file: %w", err)
+	}
+	return tmp, nil
+}
+
+// SyncDir fsyncs a directory so renames and creations inside it are
+// durable — without it, an acknowledged file can vanish on power loss even
+// though its own bytes were synced.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("corpus: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("corpus: sync dir: %w", err)
+	}
+	return nil
+}
+
+// ListSegments returns the committed segment paths in dir in ascending
+// sequence order. A segment is committed when its index exists.
+func ListSegments(dir string) ([]string, error) {
+	idxs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+idxSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: list segments: %w", err)
+	}
+	var segs []string
+	for _, idx := range idxs {
+		if _, ok := seqOf(idx); !ok {
+			continue
+		}
+		segs = append(segs, strings.TrimSuffix(idx, idxSuffix)+segSuffix)
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		a, _ := seqOf(segs[i])
+		b, _ := seqOf(segs[j])
+		return a < b
+	})
+	return segs, nil
+}
+
+// NextSeq returns the sequence number the next committed segment in dir
+// should use (one past the highest committed segment, 1 for an empty dir).
+func NextSeq(dir string) (uint64, error) {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	next := uint64(1)
+	for _, s := range segs {
+		if n, ok := seqOf(s); ok && n >= next {
+			next = n + 1
+		}
+	}
+	return next, nil
+}
+
+// SweepStray removes leftovers of interrupted commits: staged temp files
+// and segment files that never gained an index (their records are still in
+// the WAL). Committed segments are never touched.
+func SweepStray(dir string) error {
+	for _, pat := range []string{segPrefix + "*.tmp-seg", segPrefix + "*.tmp-idx"} {
+		stale, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			return fmt.Errorf("corpus: sweep: %w", err)
+		}
+		for _, f := range stale {
+			_ = os.Remove(f)
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return fmt.Errorf("corpus: sweep: %w", err)
+	}
+	for _, seg := range segs {
+		if _, ok := seqOf(seg); !ok {
+			continue
+		}
+		if _, err := os.Stat(idxPathFor(seg)); os.IsNotExist(err) {
+			_ = os.Remove(seg)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Source adapts a segment Set to dataset.SampleSource: every At call decodes one
+// record from disk via the segment's offset index, so training over a
+// Source touches only batch-sized slices of the corpus at a time — the
+// full dataset is never resident. families fixes the label universe
+// (index = class label), mirroring how the serving layer maps family
+// names.
+type Source struct {
+	set     *Set
+	labelOf map[string]int
+	classes int
+}
+
+// NewSource wraps set with the given family→label universe.
+func NewSource(set *Set, families []string) *Source {
+	labelOf := make(map[string]int, len(families))
+	for i, f := range families {
+		labelOf[f] = i
+	}
+	return &Source{set: set, labelOf: labelOf, classes: len(families)}
+}
+
+// Len returns the record count across all segments.
+func (s *Source) Len() int { return s.set.Len() }
+
+// NumClasses returns the size of the label universe.
+func (s *Source) NumClasses() int { return s.classes }
+
+// At decodes record i into a labeled sample.
+func (s *Source) At(i int) (*dataset.Sample, error) {
+	r, err := s.set.Record(i)
+	if err != nil {
+		return nil, err
+	}
+	label, ok := s.labelOf[r.Family]
+	if !ok {
+		return nil, fmt.Errorf("corpus: record %d has family %q outside the label universe", i, r.Family)
+	}
+	return &dataset.Sample{Name: r.Name, Label: label, ACFG: r.ACFG}, nil
+}

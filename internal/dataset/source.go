@@ -1,0 +1,20 @@
+package dataset
+
+// SampleSource is a streaming view of a labeled sample collection. Len and
+// NumClasses are cheap metadata; At(i) may decode the sample from disk on
+// every call, so callers should touch only the indices they need and must
+// not assume repeated At(i) returns pointer-identical samples. A *Dataset
+// is itself a SampleSource (fully in memory, At never fails), which lets the
+// training loop run unchanged over resident datasets and disk-backed
+// corpus segments alike.
+type SampleSource interface {
+	Len() int
+	NumClasses() int
+	At(i int) (*Sample, error)
+}
+
+// At returns sample i. It never fails for an in-memory dataset; the error
+// is part of the SampleSource contract for disk-backed implementations.
+func (d *Dataset) At(i int) (*Sample, error) {
+	return d.Samples[i], nil
+}

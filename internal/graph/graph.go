@@ -19,8 +19,7 @@ import (
 // augmented adjacency adds its own).
 type Directed struct {
 	n   int
-	out [][]int        // sorted successor lists
-	set []map[int]bool // membership for O(1) HasEdge / dedup
+	out [][]int // sorted successor lists
 }
 
 // NewDirected returns an empty graph with n vertices.
@@ -28,12 +27,10 @@ func NewDirected(n int) *Directed {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: negative vertex count %d", n))
 	}
-	g := &Directed{
+	return &Directed{
 		n:   n,
 		out: make([][]int, n),
-		set: make([]map[int]bool, n),
 	}
-	return g
 }
 
 // N returns the number of vertices.
@@ -45,19 +42,18 @@ func (g *Directed) AddEdge(u, v int) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n {
 		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, g.n))
 	}
-	if g.set[u] == nil {
-		g.set[u] = make(map[int]bool)
-	}
-	if g.set[u][v] {
-		return
-	}
-	g.set[u][v] = true
 	// Insert in sorted position so successor lists are always ordered and
 	// Succ never has to mutate — a built graph is then safe for concurrent
 	// readers (the data-parallel trainer builds one Propagator per sample
-	// while replicas read graphs from worker goroutines).
+	// while replicas read graphs from worker goroutines). The sorted list
+	// doubles as the dedup structure: CFG out-degrees are tiny (≤2 for real
+	// basic blocks), so a binary search beats per-vertex hash maps on both
+	// time and memory — corpus replay decodes millions of AddEdge calls.
 	row := g.out[u]
 	i := sort.SearchInts(row, v)
+	if i < len(row) && row[i] == v {
+		return
+	}
 	row = append(row, 0)
 	copy(row[i+1:], row[i:])
 	row[i] = v
@@ -69,7 +65,9 @@ func (g *Directed) HasEdge(u, v int) bool {
 	if u < 0 || u >= g.n {
 		return false
 	}
-	return g.set[u][v]
+	row := g.out[u]
+	i := sort.SearchInts(row, v)
+	return i < len(row) && row[i] == v
 }
 
 // Succ returns the successors of u. The returned slice is sorted and must

@@ -68,11 +68,18 @@ func (c *Client) HealthContext(ctx context.Context) error {
 	return err
 }
 
-// HealthStatus is the decoded /healthz payload.
+// HealthStatus is the decoded /healthz payload. The corpus tier fields are
+// present only when the server has a durable state directory attached.
 type HealthStatus struct {
 	Status        string `json:"status"`
 	ModelVersion  string `json:"model_version,omitempty"`
 	CorpusSamples int    `json:"corpus_samples"`
+	// CorpusSegments/SegmentSamples describe the compacted binary tier;
+	// WALSamples counts records still in the write-ahead log.
+	CorpusSegments    int `json:"corpus_segments,omitempty"`
+	SegmentSamples    int `json:"segment_samples,omitempty"`
+	WALSamples        int `json:"wal_samples,omitempty"`
+	CorpusCompactions int `json:"corpus_compactions,omitempty"`
 }
 
 // HealthInfo fetches the full health payload: liveness plus the serving
@@ -118,13 +125,22 @@ func (c *Client) AddSampleACFGContext(ctx context.Context, family, name string, 
 	return err
 }
 
-// TrainResult summarizes a completed server-side training run.
+// TrainResult summarizes a completed server-side training run. Mode and
+// Promoted describe what the job did with the model: a full run always
+// installs it, while a continual run installs only when HoldoutAcc did not
+// regress below BaselineAcc (the serving model's accuracy on the same
+// holdout before fine-tuning).
 type TrainResult struct {
-	Epochs     int     `json:"epochs"`
-	BestEpoch  int     `json:"bestEpoch"`
-	BestLoss   float64 `json:"bestLoss"`
-	Samples    int     `json:"samples"`
-	Parameters int     `json:"parameters"`
+	Mode        string  `json:"mode,omitempty"`
+	Promoted    bool    `json:"promoted"`
+	Epochs      int     `json:"epochs"`
+	BestEpoch   int     `json:"bestEpoch"`
+	BestLoss    float64 `json:"bestLoss"`
+	Samples     int     `json:"samples"`
+	NewSamples  int     `json:"newSamples,omitempty"`
+	Parameters  int     `json:"parameters"`
+	HoldoutAcc  float64 `json:"holdoutAcc,omitempty"`
+	BaselineAcc float64 `json:"baselineAcc,omitempty"`
 }
 
 // trainPollInterval paces WaitTrain's status polling.
@@ -135,6 +151,19 @@ const trainPollInterval = 25 * time.Millisecond
 func (c *Client) StartTrain(ctx context.Context, epochs int, valFraction float64) (*TrainJobStatus, error) {
 	raw, err := c.do(ctx, http.MethodPost, "/v1/train",
 		trainBody{Epochs: epochs, ValFraction: valFraction}, http.StatusAccepted)
+	if err != nil {
+		return nil, err
+	}
+	return decodeJobStatus(raw)
+}
+
+// StartContinual submits an asynchronous continual fine-tuning job: the
+// serving model is tuned on samples ingested since the last completed job
+// and promoted only if holdout accuracy does not regress. valFraction sets
+// the holdout share (0 uses the server default).
+func (c *Client) StartContinual(ctx context.Context, epochs int, valFraction float64) (*TrainJobStatus, error) {
+	raw, err := c.do(ctx, http.MethodPost, "/v1/train",
+		trainBody{Mode: TrainModeContinual, Epochs: epochs, ValFraction: valFraction}, http.StatusAccepted)
 	if err != nil {
 		return nil, err
 	}
@@ -203,6 +232,31 @@ func (c *Client) Train(epochs int, valFraction float64) (*TrainResult, error) {
 // TrainContext is Train bounded by ctx.
 func (c *Client) TrainContext(ctx context.Context, epochs int, valFraction float64) (*TrainResult, error) {
 	job, err := c.StartTrain(ctx, epochs, valFraction)
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.WaitTrain(ctx, job.Job)
+	if err != nil {
+		return nil, err
+	}
+	switch st.Status {
+	case JobSucceeded:
+		if st.Result == nil {
+			return nil, fmt.Errorf("service client: job %s succeeded without a result", st.Job)
+		}
+		return st.Result, nil
+	case JobCancelled:
+		return nil, fmt.Errorf("service client: training job %s was cancelled", st.Job)
+	default:
+		return nil, fmt.Errorf("service client: training job %s failed: %s", st.Job, st.Error)
+	}
+}
+
+// ContinualTrain submits a continual fine-tuning job and blocks until it
+// reaches a terminal state, returning the result (whose Promoted field
+// reports the eval gate's verdict).
+func (c *Client) ContinualTrain(ctx context.Context, epochs int, valFraction float64) (*TrainResult, error) {
+	job, err := c.StartContinual(ctx, epochs, valFraction)
 	if err != nil {
 		return nil, err
 	}

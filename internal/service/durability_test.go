@@ -1,0 +1,397 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/acfg"
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/corpus"
+	"repro/internal/dataset"
+)
+
+// asmACFG runs the extraction pipeline on a listing, for tests that talk
+// to the Store directly instead of through the HTTP surface.
+func asmACFG(t *testing.T, asmText string) *acfg.ACFG {
+	t.Helper()
+	prog, err := asm.ParseString(asmText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Build(prog)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return acfg.FromCFG(c)
+}
+
+// appendVariant appends one distinct sample to the store directly.
+func appendVariant(t *testing.T, st *Store, family string, i int) *acfg.ACFG {
+	t.Helper()
+	a := asmACFG(t, variant(chainProgram, i))
+	if err := st.AppendSample(family, fmt.Sprintf("%s-%03d", family, i), a.ContentHash(), a); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// replayNames replays a freshly opened store over dir and returns the
+// record names in replay order.
+func replayNames(t *testing.T, dir string) []string {
+	t.Helper()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	var names []string
+	if _, _, err := st.Replay(func(r *corpus.Record, fromSegment bool) error {
+		names = append(names, r.Name)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestWALCreationFsyncsDir is the regression test for the missing
+// directory fsync: creating corpus.wal must be followed by an fsync of the
+// state directory, or the filename itself can vanish on power loss even
+// though the first sample's data was synced. Pre-fix code only synced the
+// file.
+func TestWALCreationFsyncsDir(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+
+	var dirSyncs []string
+	orig := fsyncDir
+	fsyncDir = func(d string) error {
+		dirSyncs = append(dirSyncs, d)
+		return corpus.SyncDir(d)
+	}
+	t.Cleanup(func() { fsyncDir = orig })
+
+	appendVariant(t, st, "clean", 0)
+	found := false
+	for _, d := range dirSyncs {
+		if d == dir {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("first append created corpus.wal without fsyncing the state directory")
+	}
+
+	// Once the file exists, appends must not pay the directory fsync again.
+	dirSyncs = nil
+	appendVariant(t, st, "clean", 1)
+	if len(dirSyncs) != 0 {
+		t.Fatalf("append to existing WAL fsynced the directory %d times, want 0", len(dirSyncs))
+	}
+}
+
+// TestTornAppendTruncatedBack is the regression test for torn records: an
+// append that fails mid-write (or fails its fsync) must truncate the WAL
+// back to the last durable record boundary. Pre-fix code left the torn
+// half-record in place, so the NEXT successful append buried it mid-file,
+// turning a survivable error into fatal corruption at replay.
+func TestTornAppendTruncatedBack(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendVariant(t, st, "clean", 0)
+
+	// Short write: half the bytes land, then the disk "fails".
+	origWrite := walWrite
+	walWrite = func(f *os.File, b []byte) (int, error) {
+		n, _ := f.Write(b[:len(b)/2])
+		return n, errors.New("injected write failure")
+	}
+	a := asmACFG(t, variant(chainProgram, 1))
+	if err := st.AppendSample("clean", "torn-write", a.ContentHash(), a); err == nil {
+		t.Fatal("append with failing write reported success")
+	}
+	walWrite = origWrite
+
+	// Failed fsync: all bytes land but durability is unknown.
+	origSync := walSync
+	walSync = func(f *os.File) error { return errors.New("injected sync failure") }
+	a2 := asmACFG(t, variant(chainProgram, 2))
+	if err := st.AppendSample("clean", "torn-sync", a2.ContentHash(), a2); err == nil {
+		t.Fatal("append with failing sync reported success")
+	}
+	walSync = origSync
+
+	// The WAL must sit exactly at the last good boundary...
+	info, err := os.Stat(filepath.Join(dir, walFilename))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != st.walSize {
+		t.Fatalf("WAL is %d bytes after failed appends, want the durable %d", info.Size(), st.walSize)
+	}
+	// ...so the next append lands on a clean boundary.
+	appendVariant(t, st, "clean", 3)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names := replayNames(t, dir)
+	want := []string{"clean-000", "clean-003"}
+	if len(names) != len(want) || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("replay after torn appends = %v, want %v", names, want)
+	}
+}
+
+// TestImportCorpusGroupCommit is the regression test for O(n) fsyncs on
+// bulk import: importing n samples must cost exactly one WAL fsync, while
+// the single-sample ingest path keeps its per-sample fsync.
+func TestImportCorpusGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	srv, client, _, _ := bootStatefulServer(t, dir)
+
+	syncs := 0
+	orig := walSync
+	walSync = func(f *os.File) error { syncs++; return f.Sync() }
+	t.Cleanup(func() { walSync = orig })
+
+	d := dataset.New([]string{"clean", "dirty"})
+	for i := 0; i < 8; i++ {
+		d.Add(&dataset.Sample{
+			Name:  fmt.Sprintf("bulk-%03d", i),
+			Label: i % 2,
+			ACFG:  asmACFG(t, variant(chainProgram, 10+i)),
+		})
+	}
+	if err := srv.ImportCorpus(d); err != nil {
+		t.Fatal(err)
+	}
+	if syncs != 1 {
+		t.Fatalf("importing 8 samples cost %d fsyncs, want 1 group commit", syncs)
+	}
+
+	// Per-sample durability on the upload path is untouched.
+	syncs = 0
+	for i := 0; i < 2; i++ {
+		if err := client.AddSampleASM("clean", "", variant(chainProgram, 30+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if syncs != 2 {
+		t.Fatalf("2 uploads cost %d fsyncs, want 2 (one per acknowledged sample)", syncs)
+	}
+}
+
+// TestStateDirExclusiveLock is the regression test for WAL interleaving:
+// two processes pointed at one -state-dir must not both append. The second
+// OpenStore gets ErrStateDirLocked (magic-server maps it to exit 2), and
+// the lock dies with the holder.
+func TestStateDirExclusiveLock(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); !errors.Is(err, ErrStateDirLocked) {
+		t.Fatalf("second OpenStore err = %v, want ErrStateDirLocked", err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactionRoundTrip drives the WAL→segment fold directly: records
+// move into committed segments, the WAL empties, order survives, and a
+// second generation lands in its own segment.
+func TestCompactionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		appendVariant(t, st, "clean", i)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Segments != 1 || stats.SegmentRecords != 4 || stats.WALRecords != 0 {
+		t.Fatalf("after compaction: %+v, want 1 segment, 4 records, empty WAL", stats)
+	}
+	if stats.WALBytes != 0 {
+		t.Fatalf("WAL holds %d bytes after full compaction, want 0", stats.WALBytes)
+	}
+
+	// Second generation: new appends land in the WAL, then their own segment.
+	for i := 4; i < 6; i++ {
+		appendVariant(t, st, "clean", i)
+	}
+	if st.Stats().WALRecords != 2 {
+		t.Fatalf("WAL records = %d, want 2", st.Stats().WALRecords)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	stats = st.Stats()
+	if stats.Segments != 2 || stats.SegmentRecords != 6 || stats.WALRecords != 0 {
+		t.Fatalf("after second compaction: %+v, want 2 segments, 6 records", stats)
+	}
+	if stats.Compactions != 2 {
+		t.Fatalf("compactions = %d, want 2", stats.Compactions)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	names := replayNames(t, dir)
+	if len(names) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(names))
+	}
+	for i, name := range names {
+		if want := fmt.Sprintf("clean-%03d", i); name != want {
+			t.Fatalf("replay[%d] = %q, want %q (order must survive compaction)", i, name, want)
+		}
+	}
+}
+
+// TestCrashBetweenSegmentCommitAndSwapNoDoubleCount reconstructs the exact
+// on-disk state left by a crash after the segment commit but before the
+// WAL tail swap: every record exists in BOTH tiers. Replay must dedup by
+// content hash (no double count), and the next compaction must not write
+// the duplicates into a second segment.
+func TestCrashBetweenSegmentCommitAndSwapNoDoubleCount(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []*corpus.Record
+	for i := 0; i < 4; i++ {
+		a := asmACFG(t, variant(chainProgram, i))
+		name := fmt.Sprintf("clean-%03d", i)
+		if err := st.AppendSample("clean", name, a.ContentHash(), a); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, &corpus.Record{Family: "clean", Name: name, Hash: a.ContentHash(), ACFG: a})
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The "crash": a fully committed segment holding the same records, with
+	// the WAL never truncated.
+	w, err := corpus.NewWriter(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, _, replayed, _ := bootStatefulServer(t, dir)
+	if replayed != 4 {
+		t.Fatalf("replayed %d samples from duplicated tiers, want 4 (hash dedup)", replayed)
+	}
+	srv.mu.Lock()
+	st2 := srv.store
+	corpusLen := srv.corpus.Len()
+	srv.mu.Unlock()
+	if corpusLen != 4 {
+		t.Fatalf("corpus holds %d samples, want 4", corpusLen)
+	}
+
+	// The recovery compaction sees every WAL record already in a segment:
+	// it must just swap the tail, not write a duplicate segment.
+	if err := st2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st2.Stats()
+	if stats.Segments != 1 || stats.SegmentRecords != 4 {
+		t.Fatalf("recovery compaction produced %+v, want the original 1 segment / 4 records", stats)
+	}
+	if stats.WALRecords != 0 || stats.WALBytes != 0 {
+		t.Fatalf("WAL not emptied by recovery compaction: %+v", stats)
+	}
+}
+
+// TestRestartThroughSegmentsBitIdentical is the end-to-end durability
+// acceptance test: upload, train, compact into segments, kill -9, reboot —
+// the rebuilt server must serve bit-identical prediction probabilities and
+// report consistent corpus health.
+func TestRestartThroughSegmentsBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	srv1, client1, _, _ := bootStatefulServer(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := client1.AddSampleASM("clean", "", variant(chainProgram, i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := client1.AddSampleASM("dirty", "", variant(loopProgram, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client1.Train(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv1.mu.Lock()
+	st1 := srv1.store
+	srv1.mu.Unlock()
+	if err := st1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st1.Stats().Segments == 0 {
+		t.Fatal("compaction produced no segment")
+	}
+	before, err := client1.PredictASM(variant(loopProgram, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash(srv1)
+
+	_, client2, replayed, loaded := bootStatefulServer(t, dir)
+	if replayed != 6 || !loaded {
+		t.Fatalf("reboot replayed %d samples (model %v), want 6 and a checkpoint", replayed, loaded)
+	}
+	hs, err := client2.HealthInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.CorpusSamples != 6 || hs.SegmentSamples != 6 || hs.WALSamples != 0 || hs.CorpusSegments == 0 {
+		t.Fatalf("health after reboot = %+v, want all 6 samples in segments", hs)
+	}
+	after, err := client2.PredictASM(variant(loopProgram, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Predictions) != len(after.Predictions) {
+		t.Fatalf("prediction shapes differ: %d vs %d", len(before.Predictions), len(after.Predictions))
+	}
+	for i := range before.Predictions {
+		b, a := before.Predictions[i], after.Predictions[i]
+		if b.Family != a.Family || b.Probability != a.Probability {
+			t.Fatalf("prediction %d differs across kill-9 restart: %s %.17g vs %s %.17g",
+				i, b.Family, b.Probability, a.Family, a.Probability)
+		}
+	}
+}

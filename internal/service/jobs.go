@@ -1,15 +1,29 @@
 package service
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"time"
 
+	"repro/internal/acfg"
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
+
+// Training job modes. Full retrains from scratch on the whole corpus;
+// continual fine-tunes the serving model on the samples ingested since the
+// last completed job and promotes only past the holdout eval gate.
+const (
+	TrainModeFull      = "full"
+	TrainModeContinual = "continual"
+)
+
+// continualHoldoutFraction is the default stratified holdout share used by
+// the continual eval gate when the request does not set valFraction.
+const continualHoldoutFraction = 0.25
 
 // Job states. A job is created running (admission happens synchronously in
 // the submit handler, so there is no queued state) and ends in exactly one
@@ -32,6 +46,7 @@ const maxJobHistory = 32
 // completed epoch; Result is set only once the job has succeeded.
 type TrainJobStatus struct {
 	Job             string       `json:"job"`
+	Mode            string       `json:"mode,omitempty"`
 	Status          string       `json:"status"`
 	CancelRequested bool         `json:"cancelRequested,omitempty"`
 	Epochs          int          `json:"epochs"`
@@ -58,7 +73,8 @@ func (s *TrainJobStatus) Terminal() bool {
 // updated by the runner goroutine and read by the status handlers.
 type trainJob struct {
 	id      string
-	epochs  int // requested epoch budget
+	mode    string // TrainModeFull or TrainModeContinual
+	epochs  int    // requested epoch budget
 	samples int
 	stop    chan struct{} // closed to request cooperative cancellation
 	done    chan struct{} // closed when the runner goroutine exits
@@ -121,6 +137,7 @@ func (j *trainJob) status() *TrainJobStatus {
 	defer j.mu.Unlock()
 	st := &TrainJobStatus{
 		Job:             j.id,
+		Mode:            j.mode,
 		Status:          j.state,
 		CancelRequested: j.cancelRequested,
 		Epochs:          j.epochs,
@@ -150,10 +167,11 @@ func (s *Server) TrainingActive() bool {
 
 // startTrainJobLocked admits a new job (callers hold s.mu and have already
 // rejected a concurrent run) and registers it in the history ring.
-func (s *Server) startTrainJobLocked(epochs, samples int) *trainJob {
+func (s *Server) startTrainJobLocked(mode string, epochs, samples int) *trainJob {
 	s.jobSeq++
 	job := &trainJob{
 		id:        fmt.Sprintf("train-%06d", s.jobSeq),
+		mode:      mode,
 		epochs:    epochs,
 		samples:   samples,
 		stop:      make(chan struct{}),
@@ -218,7 +236,10 @@ func (s *Server) runTrainJob(job *trainJob, cfg core.Config, train *dataset.Data
 		settle(JobFailed, err.Error(), nil)
 		return
 	}
-	hist, err := core.Train(m, fit, val, core.TrainOptions{
+	// Train through the streaming session: the in-memory snapshot satisfies
+	// dataset.SampleSource, and the same path serves disk-backed corpus
+	// sources, so production exercises the streaming iterator end to end.
+	hist, err := core.TrainStream(m, fit, val, core.TrainOptions{
 		Workers: workers,
 		Stop:    job.stop,
 		Observer: core.EpochObserverFunc(func(e core.EpochStats) {
@@ -241,6 +262,11 @@ func (s *Server) runTrainJob(job *trainJob, cfg core.Config, train *dataset.Data
 	if installErr == nil && s.store != nil {
 		ckptErr = s.store.SaveModel(m)
 	}
+	if installErr == nil {
+		// The continual mode fine-tunes on corpus samples past this
+		// watermark; a full run covers the whole snapshot.
+		s.trainedThrough = train.Len()
+	}
 	s.mu.Unlock()
 	if installErr != nil {
 		settle(JobFailed, installErr.Error(), nil)
@@ -253,12 +279,169 @@ func (s *Server) runTrainJob(job *trainJob, cfg core.Config, train *dataset.Data
 		return
 	}
 	settle(JobSucceeded, "", &TrainResult{
+		Mode:       TrainModeFull,
+		Promoted:   true,
 		Epochs:     len(hist.TrainLoss),
 		BestEpoch:  hist.BestEpoch,
 		BestLoss:   hist.BestValLoss,
 		Samples:    train.Len(),
 		Parameters: m.NumParameters(),
 	})
+}
+
+// cloneModel round-trips a model through its serialized form, yielding an
+// independent copy whose parameters can be fine-tuned without touching the
+// (immutable, possibly serving) original. The clone's version is cleared so
+// the registry assigns a fresh one if it is promoted.
+func cloneModel(m *core.Model) (*core.Model, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, fmt.Errorf("clone model: %w", err)
+	}
+	c, err := core.Load(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("clone model: %w", err)
+	}
+	c.Version = ""
+	return c, nil
+}
+
+// accuracyOn computes argmax accuracy of m over d using the batch engine.
+func accuracyOn(m *core.Model, d *dataset.Dataset, workers int) (float64, error) {
+	if d.Len() == 0 {
+		return 0, fmt.Errorf("empty holdout set")
+	}
+	as := make([]*acfg.ACFG, d.Len())
+	for i, smp := range d.Samples {
+		as[i] = smp.ACFG
+	}
+	probs, err := m.PredictBatch(as, workers)
+	if err != nil {
+		return 0, err
+	}
+	hits := 0
+	for i, p := range probs {
+		best := 0
+		for c, v := range p {
+			if v > p[best] {
+				best = c
+			}
+		}
+		if best == d.Samples[i].Label {
+			hits++
+		}
+	}
+	return float64(hits) / float64(d.Len()), nil
+}
+
+// runContinualJob fine-tunes a clone of the serving model on the corpus
+// increment since the last completed job, then gates promotion on holdout
+// accuracy: the tuned model is installed only if it does not regress
+// against the baseline (the clone evaluated before fine-tuning, which is
+// parameter-identical to the serving model). A rejected run still succeeds
+// — Result.Promoted reports the gate's verdict — and leaves the watermark
+// untouched so the increment is retried by the next job.
+func (s *Server) runContinualJob(job *trainJob, cfg core.Config, base *core.Model, increment, holdout *dataset.Dataset, snapshotLen, workers int) {
+	defer close(job.done)
+	s.trainMetrics.RunStarted(increment.Len())
+
+	settle := func(state, errMsg string, result *TrainResult) {
+		now := s.now()
+		job.finish(state, errMsg, result, now)
+		s.mu.Lock()
+		s.curJob = nil
+		s.mu.Unlock()
+		outcome := "ok"
+		switch state {
+		case JobFailed:
+			outcome = "error"
+		case JobCancelled:
+			outcome = "cancelled"
+		}
+		s.trainMetrics.RunFinished(state != JobSucceeded)
+		s.jobMetrics.Finished(outcome, now.Sub(job.startedAt).Seconds())
+	}
+
+	m, err := cloneModel(base)
+	if err != nil {
+		settle(JobFailed, err.Error(), nil)
+		return
+	}
+	// The clone inherits the base model's architecture (it must — the
+	// weights match it), but the epoch budget is this job's: the training
+	// loop reads it from the model config.
+	m.Config.Epochs = cfg.Epochs
+	baselineAcc, err := accuracyOn(m, holdout, workers)
+	if err != nil {
+		settle(JobFailed, fmt.Sprintf("baseline eval: %v", err), nil)
+		return
+	}
+
+	hist, err := core.TrainStream(m, increment, nil, core.TrainOptions{
+		Workers: workers,
+		Stop:    job.stop,
+		// Keep the base model's fitted attribute statistics: refitting on
+		// the (differently distributed) increment would shift every input
+		// the inherited parameters were trained against.
+		PreserveScaler: true,
+		Observer: core.EpochObserverFunc(func(e core.EpochStats) {
+			s.trainMetrics.ObserveEpoch(epochUpdate(e))
+			job.observeEpoch(e)
+		}),
+	})
+	switch {
+	case errors.Is(err, core.ErrCancelled):
+		settle(JobCancelled, "", nil)
+		return
+	case err != nil:
+		settle(JobFailed, err.Error(), nil)
+		return
+	}
+	tunedAcc, err := accuracyOn(m, holdout, workers)
+	if err != nil {
+		settle(JobFailed, fmt.Sprintf("holdout eval: %v", err), nil)
+		return
+	}
+
+	result := &TrainResult{
+		Mode:        TrainModeContinual,
+		Epochs:      len(hist.TrainLoss),
+		BestEpoch:   hist.BestEpoch,
+		BestLoss:    hist.BestValLoss,
+		Samples:     increment.Len(),
+		NewSamples:  increment.Len(),
+		Parameters:  m.NumParameters(),
+		HoldoutAcc:  tunedAcc,
+		BaselineAcc: baselineAcc,
+	}
+	if tunedAcc < baselineAcc {
+		// Eval gate: the increment made the model worse on held-out data.
+		// Keep serving the baseline and leave the watermark so the samples
+		// are retried (with more company) by the next job.
+		settle(JobSucceeded, "", result)
+		return
+	}
+
+	s.mu.Lock()
+	installErr := s.installModelLocked(m, "continual")
+	var ckptErr error
+	if installErr == nil && s.store != nil {
+		ckptErr = s.store.SaveModel(m)
+	}
+	if installErr == nil {
+		s.trainedThrough = snapshotLen
+	}
+	s.mu.Unlock()
+	if installErr != nil {
+		settle(JobFailed, installErr.Error(), nil)
+		return
+	}
+	if ckptErr != nil {
+		settle(JobFailed, fmt.Sprintf("checkpoint model: %v", ckptErr), nil)
+		return
+	}
+	result.Promoted = true
+	settle(JobSucceeded, "", result)
 }
 
 // handleTrain admits an asynchronous training job: it validates the
@@ -273,6 +456,15 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), err)
 		return
 	}
+	switch body.Mode {
+	case "", TrainModeFull:
+		body.Mode = TrainModeFull
+	case TrainModeContinual:
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown training mode %q (want %q or %q)", body.Mode, TrainModeFull, TrainModeContinual))
+		return
+	}
 
 	s.mu.Lock()
 	if s.curJob != nil {
@@ -281,6 +473,12 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, fmt.Errorf("training already in progress (job %s)", id))
 		return
 	}
+
+	if body.Mode == TrainModeContinual {
+		s.admitContinualLocked(w, body)
+		return
+	}
+
 	// Snapshot the corpus under the lock; train outside it so predictions
 	// against the previous model keep serving.
 	train := s.corpus.Subset(allIndices(s.corpus.Len()))
@@ -298,11 +496,65 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		cfg.Epochs = body.Epochs
 	}
 	workers := s.workersLocked()
-	job := s.startTrainJobLocked(cfg.Epochs, train.Len())
+	job := s.startTrainJobLocked(TrainModeFull, cfg.Epochs, train.Len())
 	s.mu.Unlock()
 
 	s.jobMetrics.Started()
 	go s.runTrainJob(job, cfg, train, body.ValFraction, workers)
+
+	writeJSON(w, http.StatusAccepted, job.status())
+}
+
+// admitContinualLocked validates and launches a continual fine-tuning job.
+// It is called with s.mu held (no running job) and releases it on every
+// path. Preconditions beyond full training's: a trained model must be
+// serving, there must be new samples past the watermark, and the corpus
+// must support a stratified holdout split for the eval gate.
+func (s *Server) admitContinualLocked(w http.ResponseWriter, body trainBody) {
+	base := s.model
+	if base == nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusPreconditionFailed,
+			fmt.Errorf("continual training needs a trained model; run a full training job first"))
+		return
+	}
+	total := s.corpus.Len()
+	if s.trainedThrough >= total {
+		s.mu.Unlock()
+		writeError(w, http.StatusPreconditionFailed,
+			fmt.Errorf("no new samples since the last training job (corpus %d, trained through %d)", total, s.trainedThrough))
+		return
+	}
+	incIdx := make([]int, 0, total-s.trainedThrough)
+	for i := s.trainedThrough; i < total; i++ {
+		incIdx = append(incIdx, i)
+	}
+	increment := s.corpus.Subset(incIdx)
+	full := s.corpus.Subset(allIndices(total))
+
+	cfg := s.cfgTemplate
+	if body.Epochs > 0 {
+		cfg.Epochs = body.Epochs
+	}
+	holdFrac := continualHoldoutFraction
+	if body.ValFraction > 0 && body.ValFraction < 1 {
+		holdFrac = body.ValFraction
+	}
+	// The gate's holdout is a stratified slice of the whole corpus (old and
+	// new samples alike): the tuned model must not trade established
+	// families for the increment's.
+	_, holdout, err := full.TrainValSplit(holdFrac, cfg.Seed)
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusPreconditionFailed, fmt.Errorf("continual holdout split: %w", err))
+		return
+	}
+	workers := s.workersLocked()
+	job := s.startTrainJobLocked(TrainModeContinual, cfg.Epochs, increment.Len())
+	s.mu.Unlock()
+
+	s.jobMetrics.Started()
+	go s.runContinualJob(job, cfg, base, increment, holdout, total, workers)
 
 	writeJSON(w, http.StatusAccepted, job.status())
 }

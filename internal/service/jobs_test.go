@@ -15,11 +15,10 @@ import (
 func seedCorpus(t *testing.T, client *Client, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
-		suffix := " ; v" + itoa(i)
-		if err := client.AddSampleASM("clean", "", chainProgram+suffix); err != nil {
+		if err := client.AddSampleASM("clean", "", variant(chainProgram, i)); err != nil {
 			t.Fatal(err)
 		}
-		if err := client.AddSampleASM("dirty", "", loopProgram+suffix); err != nil {
+		if err := client.AddSampleASM("dirty", "", variant(loopProgram, i)); err != nil {
 			t.Fatal(err)
 		}
 	}

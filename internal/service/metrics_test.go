@@ -55,11 +55,10 @@ func TestMetricsEndpointRoundTrip(t *testing.T) {
 	_, ts, client := newTestServer(t, []string{"chainy", "loopy"})
 
 	for i := 0; i < 4; i++ {
-		suffix := " ; v" + itoa(i)
-		if err := client.AddSampleASM("chainy", "", chainProgram+suffix); err != nil {
+		if err := client.AddSampleASM("chainy", "", variant(chainProgram, i)); err != nil {
 			t.Fatal(err)
 		}
-		if err := client.AddSampleASM("loopy", "", loopProgram+suffix); err != nil {
+		if err := client.AddSampleASM("loopy", "", variant(loopProgram, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -154,11 +153,10 @@ func TestPredictDuringTrain(t *testing.T) {
 	srv, ts, client := newTestServer(t, []string{"chainy", "loopy"})
 
 	for i := 0; i < 8; i++ {
-		suffix := " ; v" + itoa(i)
-		if err := client.AddSampleASM("chainy", "", chainProgram+suffix); err != nil {
+		if err := client.AddSampleASM("chainy", "", variant(chainProgram, i)); err != nil {
 			t.Fatal(err)
 		}
-		if err := client.AddSampleASM("loopy", "", loopProgram+suffix); err != nil {
+		if err := client.AddSampleASM("loopy", "", variant(loopProgram, i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -36,6 +36,7 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -66,6 +67,15 @@ type Server struct {
 	corpus    *dataset.Dataset
 	model     *core.Model
 	trainedAt time.Time
+
+	// seen holds the ACFG content hash of every corpus sample, for ingest
+	// dedup: re-uploading byte-identical content is acknowledged but not
+	// stored twice. Populated from the durable tiers on AttachStore replay.
+	seen map[[sha256.Size]byte]struct{}
+
+	// trainedThrough is the corpus length covered by the last completed
+	// training job; the continual job mode fine-tunes on samples past it.
+	trainedThrough int
 
 	// Asynchronous training jobs: curJob is the single admitted run (nil
 	// when idle); jobs/jobOrder keep a bounded history for status queries.
@@ -111,6 +121,7 @@ type Server struct {
 	trainMetrics   *obs.TrainingMetrics
 	jobMetrics     *obs.TrainJobMetrics
 	servingMetrics *obs.ServingMetrics
+	corpusMetrics  *obs.CorpusMetrics
 	predictions    *obs.CounterVec // family
 	corpusSize     *obs.GaugeVec   // family
 	modelParams    *obs.Gauge
@@ -153,6 +164,7 @@ func NewWithRegistry(families []string, cfgTemplate core.Config, reg *obs.Regist
 		families:     families,
 		labelOf:      labelOf,
 		corpus:       dataset.New(families),
+		seen:         make(map[[sha256.Size]byte]struct{}),
 		jobs:         make(map[string]*trainJob),
 		versions:     make(map[string]*modelVersion),
 		batchMaxSize: DefaultBatchMaxSize,
@@ -164,6 +176,7 @@ func NewWithRegistry(families []string, cfgTemplate core.Config, reg *obs.Regist
 		trainMetrics:   obs.NewTrainingMetrics(reg),
 		jobMetrics:     obs.NewTrainJobMetrics(reg),
 		servingMetrics: obs.NewServingMetrics(reg),
+		corpusMetrics:  obs.NewCorpusMetrics(reg),
 		predictions: reg.CounterVec("magic_predictions_total",
 			"Predictions served, by top-ranked family.", "family"),
 		corpusSize: reg.GaugeVec("magic_corpus_samples",
@@ -289,8 +302,11 @@ type sampleBody struct {
 	Name   string     `json:"name,omitempty"`
 }
 
-// trainBody tunes a training request.
+// trainBody tunes a training request. Mode selects full retraining
+// (default) or continual fine-tuning on samples since the last job; for
+// continual jobs ValFraction sets the eval gate's holdout share.
 type trainBody struct {
+	Mode        string  `json:"mode,omitempty"`
 	Epochs      int     `json:"epochs,omitempty"`
 	ValFraction float64 `json:"valFraction,omitempty"`
 }
@@ -319,6 +335,12 @@ type healthzResponse struct {
 	Status        string `json:"status"`
 	ModelVersion  string `json:"model_version,omitempty"`
 	CorpusSamples int    `json:"corpus_samples"`
+	// Storage-tier breakdown, present only when a state dir is attached:
+	// how much of the corpus lives in compacted segments vs the WAL tail.
+	CorpusSegments    int `json:"corpus_segments,omitempty"`
+	SegmentSamples    int `json:"segment_samples,omitempty"`
+	WALSamples        int `json:"wal_samples,omitempty"`
+	CorpusCompactions int `json:"corpus_compactions,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -328,7 +350,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		ModelVersion:  s.activeVersion,
 		CorpusSamples: s.corpus.Len(),
 	}
+	store := s.store
 	s.mu.Unlock()
+	if store != nil {
+		stats := store.Stats()
+		resp.CorpusSegments = stats.Segments
+		resp.SegmentSamples = stats.SegmentRecords
+		resp.WALSamples = stats.WALRecords
+		resp.CorpusCompactions = stats.Compactions
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -381,22 +411,37 @@ func (s *Server) handleAddSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	hash := a.ContentHash()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	name := body.Name
 	if name == "" {
 		name = fmt.Sprintf("%s-%06d", body.Family, s.corpus.Len())
 	}
+	// Ingest dedup: byte-identical ACFG content is acknowledged but stored
+	// once — re-uploads after client retries or corpus re-imports must not
+	// inflate the training set.
+	if _, dup := s.seen[hash]; dup {
+		s.corpusMetrics.Deduplicated()
+		writeJSON(w, http.StatusCreated, map[string]any{
+			"name":         name,
+			"samples":      s.corpus.Len(),
+			"deduplicated": true,
+		})
+		return
+	}
 	// Durability first: a sample is acknowledged only once it is in the
 	// WAL, so an acknowledged upload survives a crash.
 	if s.store != nil {
-		if err := s.store.AppendSample(body.Family, name, a); err != nil {
+		if err := s.store.AppendSample(body.Family, name, hash, a); err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 	}
+	s.seen[hash] = struct{}{}
 	s.corpus.Add(&dataset.Sample{Name: name, Label: label, ACFG: a})
 	s.corpusSize.With(body.Family).Set(float64(s.corpus.CountByClass()[label]))
+	s.publishCorpusGaugesLocked()
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"name":    name,
 		"samples": s.corpus.Len(),

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -90,17 +91,13 @@ func TestPredictWithoutModel(t *testing.T) {
 func TestUploadTrainPredictFlow(t *testing.T) {
 	_, _, client := newTestServer(t, []string{"chainy", "loopy"})
 
-	// Upload a few variants of each family (perturbed constants).
-	rng := rand.New(rand.NewSource(1))
+	// Upload a few variants of each family (distinct instruction mixes —
+	// ingest dedup would collapse byte-identical ACFG content).
 	for i := 0; i < 8; i++ {
-		chain := strings.ReplaceAll(chainProgram, "mov eax, 1",
-			"mov eax, "+itoa(rng.Intn(50)))
-		loop := strings.ReplaceAll(loopProgram, "mov ecx, 9",
-			"mov ecx, "+itoa(rng.Intn(50)))
-		if err := client.AddSampleASM("chainy", "", chain); err != nil {
+		if err := client.AddSampleASM("chainy", "", variant(chainProgram, i)); err != nil {
 			t.Fatal(err)
 		}
-		if err := client.AddSampleASM("loopy", "", loop); err != nil {
+		if err := client.AddSampleASM("loopy", "", variant(loopProgram, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -180,10 +177,10 @@ func TestTrainRequiresTwoPerFamily(t *testing.T) {
 func TestTrainConflictWhileTraining(t *testing.T) {
 	_, ts, client := newTestServer(t, []string{"clean", "dirty"})
 	for i := 0; i < 2; i++ {
-		if err := client.AddSampleASM("clean", "", chainProgram); err != nil {
+		if err := client.AddSampleASM("clean", "", variant(chainProgram, i)); err != nil {
 			t.Fatal(err)
 		}
-		if err := client.AddSampleASM("dirty", "", loopProgram); err != nil {
+		if err := client.AddSampleASM("dirty", "", variant(loopProgram, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -295,6 +292,27 @@ func TestConcurrentPredictions(t *testing.T) {
 
 func itoa(v int) string { return strconv.Itoa(v) }
 
+// variant splices i+1 extra arithmetic instructions ahead of prog's final
+// ret so each variant has genuinely distinct ACFG content. Ingest dedup
+// keys on the content hash, which counts instructions per block — comment
+// or operand-value tweaks hash identically and would collapse to one
+// sample.
+func variant(prog string, i int) string {
+	lines := strings.Split(strings.TrimSpace(prog), "\n")
+	last := strings.Fields(lines[len(lines)-1])
+	addr, err := strconv.ParseUint(last[0], 16, 64)
+	if err != nil {
+		panic("variant: final line has no address: " + lines[len(lines)-1])
+	}
+	out := append([]string{}, lines[:len(lines)-1]...)
+	for k := 0; k <= i; k++ {
+		out = append(out, fmt.Sprintf("%08x add eax, 1", addr))
+		addr += 2
+	}
+	out = append(out, fmt.Sprintf("%08x ret", addr))
+	return strings.Join(out, "\n") + "\n"
+}
+
 // TestSetParallelismRebuildsPool resizes the replica pool on a live server
 // and checks pooled predictions still match the model bit-for-bit.
 func TestSetParallelismRebuildsPool(t *testing.T) {
@@ -334,14 +352,11 @@ func TestPredictsKeepServingDuringTraining(t *testing.T) {
 	if err := srv.SetParallelism(4); err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 6; i++ {
-		chain := strings.ReplaceAll(chainProgram, "mov eax, 1", "mov eax, "+itoa(rng.Intn(50)))
-		loop := strings.ReplaceAll(loopProgram, "mov ecx, 9", "mov ecx, "+itoa(rng.Intn(50)))
-		if err := client.AddSampleASM("chainy", "", chain); err != nil {
+		if err := client.AddSampleASM("chainy", "", variant(chainProgram, i)); err != nil {
 			t.Fatal(err)
 		}
-		if err := client.AddSampleASM("loopy", "", loop); err != nil {
+		if err := client.AddSampleASM("loopy", "", variant(loopProgram, i)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -29,7 +29,36 @@ func bootStatefulServer(t *testing.T, dir string) (*Server, *Client, int, bool) 
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(func() { crash(srv) })
 	return srv, NewClient(ts.URL), replayed, loaded
+}
+
+// crash simulates kill -9 for a stateful server: the OS releases file
+// handles and the state-dir flock, but nothing graceful happens — no
+// model checkpoint, no WAL cleanup. Idempotent, and a no-op after Close.
+func crash(srv *Server) {
+	srv.mu.Lock()
+	st := srv.store
+	srv.store = nil
+	srv.mu.Unlock()
+	if st == nil {
+		return
+	}
+	if st.stopCh != nil {
+		close(st.stopCh)
+		st.wg.Wait()
+		st.stopCh = nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.wal != nil {
+		_ = st.wal.Close()
+		st.wal = nil
+	}
+	if st.lock != nil {
+		_ = st.lock.Close()
+		st.lock = nil
+	}
 }
 
 // TestRestartRoundTrip is the acceptance test for the persistence
@@ -45,11 +74,10 @@ func TestRestartRoundTrip(t *testing.T) {
 		t.Fatalf("fresh state dir replayed %d samples, model %v", replayed, loaded)
 	}
 	for i := 0; i < 3; i++ {
-		suffix := " ; v" + itoa(i)
-		if err := client1.AddSampleASM("clean", "c"+itoa(i), chainProgram+suffix); err != nil {
+		if err := client1.AddSampleASM("clean", "c"+itoa(i), variant(chainProgram, i)); err != nil {
 			t.Fatal(err)
 		}
-		if err := client1.AddSampleASM("dirty", "d"+itoa(i), loopProgram+suffix); err != nil {
+		if err := client1.AddSampleASM("dirty", "d"+itoa(i), variant(loopProgram, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -63,7 +91,7 @@ func TestRestartRoundTrip(t *testing.T) {
 	// Simulate a crash: no srv1.Close(), no final checkpoint — only what
 	// the WAL appends and the training-success checkpoint already made
 	// durable.
-	_ = srv1
+	crash(srv1)
 
 	srv2, client2, replayed, loaded := bootStatefulServer(t, dir)
 	if replayed != 6 {
@@ -89,7 +117,7 @@ func TestRestartRoundTrip(t *testing.T) {
 	}
 
 	// New uploads append after the replayed ones; a third boot sees all.
-	if err := client2.AddSampleASM("clean", "late", chainProgram+" ; late"); err != nil {
+	if err := client2.AddSampleASM("clean", "late", variant(chainProgram, 10)); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv2.Close(); err != nil {
@@ -107,13 +135,14 @@ func TestRestartRoundTrip(t *testing.T) {
 func TestWALTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
 
-	_, client, _, _ := bootStatefulServer(t, dir)
+	srv1, client, _, _ := bootStatefulServer(t, dir)
 	if err := client.AddSampleASM("clean", "a", chainProgram); err != nil {
 		t.Fatal(err)
 	}
 	if err := client.AddSampleASM("dirty", "b", loopProgram); err != nil {
 		t.Fatal(err)
 	}
+	crash(srv1)
 
 	walPath := filepath.Join(dir, walFilename)
 	intact, err := os.ReadFile(walPath)
@@ -125,7 +154,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, client2, replayed, _ := bootStatefulServer(t, dir)
+	srv2, client2, replayed, _ := bootStatefulServer(t, dir)
 	if replayed != 2 {
 		t.Fatalf("replayed %d samples from torn WAL, want 2", replayed)
 	}
@@ -138,9 +167,10 @@ func TestWALTornTailTruncated(t *testing.T) {
 	}
 	// The truncated WAL accepts appends at a clean boundary: a third boot
 	// replays old + new records.
-	if err := client2.AddSampleASM("clean", "c", chainProgram+" ; c"); err != nil {
+	if err := client2.AddSampleASM("clean", "c", variant(chainProgram, 5)); err != nil {
 		t.Fatal(err)
 	}
+	crash(srv2)
 	_, _, replayed, _ = bootStatefulServer(t, dir)
 	if replayed != 3 {
 		t.Fatalf("replayed %d samples after post-truncation append, want 3", replayed)
@@ -152,13 +182,14 @@ func TestWALTornTailTruncated(t *testing.T) {
 func TestWALMidFileCorruptionFatal(t *testing.T) {
 	dir := t.TempDir()
 
-	_, client, _, _ := bootStatefulServer(t, dir)
+	srv1, client, _, _ := bootStatefulServer(t, dir)
 	if err := client.AddSampleASM("clean", "a", chainProgram); err != nil {
 		t.Fatal(err)
 	}
 	if err := client.AddSampleASM("dirty", "b", loopProgram); err != nil {
 		t.Fatal(err)
 	}
+	crash(srv1)
 
 	walPath := filepath.Join(dir, walFilename)
 	data, err := os.ReadFile(walPath)
@@ -179,6 +210,7 @@ func TestWALMidFileCorruptionFatal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = st.Close() })
 	if _, _, err := srv.AttachStore(st); err == nil {
 		t.Fatal("mid-file WAL corruption replayed without error")
 	} else if !strings.Contains(err.Error(), "corrupt") {
@@ -191,10 +223,11 @@ func TestWALMidFileCorruptionFatal(t *testing.T) {
 func TestWALRejectsUnknownFamily(t *testing.T) {
 	dir := t.TempDir()
 
-	_, client, _, _ := bootStatefulServer(t, dir)
+	srv1, client, _, _ := bootStatefulServer(t, dir)
 	if err := client.AddSampleASM("clean", "a", chainProgram); err != nil {
 		t.Fatal(err)
 	}
+	crash(srv1)
 
 	srv, err := NewWithRegistry([]string{"alpha", "beta"}, testConfig(), obs.NewRegistry())
 	if err != nil {
@@ -204,6 +237,7 @@ func TestWALRejectsUnknownFamily(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = st.Close() })
 	if _, _, err := srv.AttachStore(st); err == nil {
 		t.Fatal("WAL with out-of-universe family replayed without error")
 	}
@@ -217,10 +251,10 @@ func TestCheckpointOnGracefulClose(t *testing.T) {
 
 	srv, client, _, _ := bootStatefulServer(t, dir)
 	for i := 0; i < 2; i++ {
-		if err := client.AddSampleASM("clean", "", chainProgram+" ; v"+itoa(i)); err != nil {
+		if err := client.AddSampleASM("clean", "", variant(chainProgram, i)); err != nil {
 			t.Fatal(err)
 		}
-		if err := client.AddSampleASM("dirty", "", loopProgram+" ; v"+itoa(i)); err != nil {
+		if err := client.AddSampleASM("dirty", "", variant(loopProgram, i)); err != nil {
 			t.Fatal(err)
 		}
 	}
