@@ -227,35 +227,41 @@ func BenchmarkTrainPerInstance(b *testing.B) {
 }
 
 // BenchmarkTrainEpoch times one steady-state training epoch through the
-// session API. A warm-up epoch before the timer fills the replica workspace
-// free lists, so the measured iterations exercise the zero-allocation hot
-// path; allocs/op is reported and gated at 0 by the committed baseline
+// session API, one sub-benchmark per conv backend. A warm-up epoch before
+// the timer fills the replica workspace free lists, so the measured
+// iterations exercise the zero-allocation hot path; allocs/op is reported
+// and gated at 0 for every backend by the committed baseline
 // (BENCH_train.json) via cmd/benchjson -compare.
 func BenchmarkTrainEpoch(b *testing.B) {
 	d, err := malgen.MSKCFG(malgen.Options{TotalSamples: 60, Seed: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
-	mcfg := core.DefaultConfig(d.NumClasses(), acfg.NumAttributes)
-	m, err := core.NewModel(mcfg, d.Sizes())
-	if err != nil {
-		b.Fatal(err)
-	}
-	sess, err := core.NewTrainSession(m, d, core.TrainOptions{Workers: 1})
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < 2; i++ { // warm-up: the first epochs grow the free lists
-		if _, _, err := sess.RunEpoch(); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := sess.RunEpoch(); err != nil {
-			b.Fatal(err)
-		}
+	for _, conv := range core.ConvBackendNames() {
+		b.Run("conv="+conv, func(b *testing.B) {
+			mcfg := core.DefaultConfig(d.NumClasses(), acfg.NumAttributes)
+			mcfg.Conv = conv
+			m, err := core.NewModel(mcfg, d.Sizes())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess, err := core.NewTrainSession(m, d, core.TrainOptions{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 2; i++ { // warm-up: the first epochs grow the free lists
+				if _, _, err := sess.RunEpoch(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sess.RunEpoch(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -8,7 +8,8 @@
 //	magic-bench -exp all -samples 360 -epochs 20 -folds 5
 //
 // Experiments: fig7, fig8, table2, table3 (=fig9), table4, table5 (=fig10),
-// fig11, overhead, ablation-heads, ablation-attrs, robustness, all.
+// fig11, overhead, ablation-heads, ablation-attrs, convsweep, robustness,
+// all.
 package main
 
 import (
@@ -31,7 +32,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("magic-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (fig7, fig8, table2, table3, table4, table5, fig9, fig10, fig11, overhead, ablation-heads, ablation-attrs, all)")
+	exp := fs.String("exp", "all", "experiment id (fig7, fig8, table2, table3, table4, table5, fig9, fig10, fig11, overhead, ablation-heads, ablation-attrs, convsweep, all)")
 	samples := fs.Int("samples", 0, "corpus size (0 = per-experiment default)")
 	epochs := fs.Int("epochs", 0, "training epochs (0 = default 20)")
 	folds := fs.Int("folds", 0, "cross-validation folds (0 = default 5)")
@@ -55,7 +56,7 @@ func run(args []string) error {
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"fig7", "fig8", "table3", "table4", "table5", "fig11", "table2", "overhead", "ablation-heads", "ablation-attrs", "robustness"}
+		ids = []string{"fig7", "fig8", "table3", "table4", "table5", "fig11", "table2", "overhead", "ablation-heads", "ablation-attrs", "convsweep", "robustness"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -160,6 +161,14 @@ func runOne(id string, opts experiments.Options, full bool) error {
 		}
 		fmt.Println("(b) obfuscation-augmented training")
 		fmt.Print(experiments.FormatRobustness(augRows))
+
+	case "convsweep":
+		rows, err := experiments.ConvBackendSweep(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Extension: graph-convolution backend comparison (identical folds per corpus)")
+		fmt.Print(experiments.FormatConvSweep(rows))
 
 	case "ablation-attrs":
 		rows, err := experiments.AblateAttributes(opts)

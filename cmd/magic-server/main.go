@@ -83,6 +83,7 @@ func run(args []string) error {
 	demo := fs.Bool("demo", false, "seed with a synthetic corpus and train before serving")
 	demoSamples := fs.Int("demo-samples", 150, "demo corpus size")
 	epochs := fs.Int("epochs", 12, "default training epochs")
+	conv := fs.String("conv", "", "graph-convolution backend for server-side training: "+strings.Join(core.ConvBackendNames(), ", ")+" (empty = gcn; preloaded checkpoints keep their own backend)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (opt-in)")
 	workers := fs.Int("workers", 0, "inference and training worker count (0 = GOMAXPROCS)")
 	batchMax := fs.Int("batch-max", service.DefaultBatchMaxSize, "max samples coalesced into one prediction batch")
@@ -103,6 +104,10 @@ func run(args []string) error {
 
 	cfg := core.DefaultConfig(len(families), acfg.NumAttributes)
 	cfg.Epochs = *epochs
+	cfg.Conv = strings.ToLower(*conv)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	srv, err := service.New(families, cfg)
 	if err != nil {
 		return err
@@ -141,7 +146,7 @@ func run(args []string) error {
 	}
 
 	if *demo && !haveModel {
-		if err := seedDemo(srv, *demoSamples, *epochs, *workers); err != nil {
+		if err := seedDemo(srv, *demoSamples, *epochs, *workers, cfg.ConvName()); err != nil {
 			return err
 		}
 	} else if *demo {
@@ -208,7 +213,7 @@ func run(args []string) error {
 // seedDemo populates the service corpus with synthetic samples (persisted
 // through the attached store, when any) and trains an initial model so the
 // service can classify immediately.
-func seedDemo(srv *service.Server, samples, epochs, workers int) error {
+func seedDemo(srv *service.Server, samples, epochs, workers int, conv string) error {
 	log.Printf("demo: generating %d synthetic samples", samples)
 	corpus, err := malgen.MSKCFG(malgen.Options{TotalSamples: samples, Seed: 1, Workers: workers})
 	if err != nil {
@@ -219,6 +224,9 @@ func seedDemo(srv *service.Server, samples, epochs, workers int) error {
 	}
 	cfg := core.DefaultConfig(corpus.NumClasses(), acfg.NumAttributes)
 	cfg.Epochs = epochs
+	if conv != "gcn" {
+		cfg.Conv = conv
+	}
 	m, err := core.NewModel(cfg, corpus.Sizes())
 	if err != nil {
 		return err

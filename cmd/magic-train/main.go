@@ -38,6 +38,8 @@ func run(args []string) error {
 	epochs := fs.Int("epochs", 20, "training epochs")
 	seed := fs.Int64("seed", 1, "random seed")
 	pooling := fs.String("pooling", "adaptive", "pooling type: adaptive or sort")
+	conv := fs.String("conv", "", "graph-convolution backend: "+strings.Join(core.ConvBackendNames(), ", ")+" (empty = gcn, the paper's rule)")
+	hops := fs.Int("hops", 0, "propagation hops for -conv tag (0 = default 2)")
 	head := fs.String("head", "conv1d", "remaining layer for sort pooling: conv1d or weightedvertices")
 	ratio := fs.Float64("ratio", 0.64, "pooling ratio")
 	valFrac := fs.Float64("val", 0.2, "validation fraction for model selection")
@@ -61,6 +63,8 @@ func run(args []string) error {
 	cfg.Epochs = *epochs
 	cfg.Seed = *seed
 	cfg.PoolingRatio = *ratio
+	cfg.Conv = strings.ToLower(*conv)
+	cfg.ConvHops = *hops
 	switch strings.ToLower(*pooling) {
 	case "adaptive":
 		cfg.Pooling = core.AdaptivePooling

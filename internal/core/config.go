@@ -110,6 +110,16 @@ type Config struct {
 	// K is the resolved sort-pooling size. Zero means "derive from the
 	// training set via PoolingRatio" (see ResolveK).
 	K int
+
+	// Conv selects the graph-convolution backend (see ConvBackendNames):
+	// "gcn" (the paper's Eq. 1 rule), "sage", "tag" or "attn". Empty selects
+	// "gcn"; the omitempty tag keeps default-config checkpoints byte-
+	// identical to the pre-backend format, so seed-era models keep loading.
+	Conv string `json:",omitempty"`
+	// ConvHops is the "tag" backend's hop count K (Z_{t+1} aggregates
+	// P⁰..P^K neighborhoods). Zero means the default of 2; other backends
+	// ignore it.
+	ConvHops int `json:",omitempty"`
 }
 
 // DefaultConfig returns the best-model hyperparameters MAGIC found for the
@@ -163,7 +173,7 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: conv layer %d size %d", i, s)
 		}
 	}
-	return nil
+	return c.validateConv()
 }
 
 // TotalConvWidth returns Σ ct — the width of the concatenated Z^{1:h}.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -23,12 +24,21 @@ import (
 // that must be exact — training, golden checksums, the default serving
 // path — stays on the float64 Model.
 type Frozen32 struct {
-	cfg   Config
-	k     int // resolved sort-pooling size (0 in adaptive mode)
-	mean  []float32
-	std   []float32 // nil when no scaler is installed
-	convW []*tensor.Matrix32
-	head  *nn.Sequential32
+	cfg  Config
+	k    int // resolved sort-pooling size (0 in adaptive mode)
+	mean []float32
+	std  []float32 // nil when no scaler is installed
+	conv frozenConv32
+	head *nn.Sequential32
+}
+
+// frozenConv32 is the float32 forward-only form of a ConvBackend: it maps
+// one graph's CSR operator plus float32 attributes to the concatenated
+// Z^{1:h}. Implementations are immutable after construction and safe for
+// concurrent use; like the rest of the frozen tier they allocate per call
+// and carry no accumulation-order contract.
+type frozenConv32 interface {
+	forward32(csr *graph.CSR, x *tensor.Matrix32) *tensor.Matrix32
 }
 
 // emptyCSR32 is the shared single-vertex operator for degenerate empty
@@ -42,10 +52,7 @@ func (m *Model) Freeze32() (*Frozen32, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: freeze32: %w", err)
 	}
-	f := &Frozen32{cfg: m.Config, k: m.K, head: head}
-	for _, w := range m.conv.Weights {
-		f.convW = append(f.convW, tensor.NewMatrix32From(w.Value))
-	}
+	f := &Frozen32{cfg: m.Config, k: m.K, head: head, conv: m.conv.freeze32()}
 	if m.scaler != nil {
 		f.mean = make([]float32, len(m.scaler.Mean))
 		f.std = make([]float32, len(m.scaler.Std))
@@ -82,31 +89,7 @@ func (f *Frozen32) logits32(a *acfg.ACFG) []float32 {
 		csr = graph.NewCSR(a.Graph)
 	}
 
-	z := x
-	total := 0
-	outs := make([]*tensor.Matrix32, len(f.convW))
-	for t, w := range f.convW {
-		fm := tensor.NewMatrix32(z.Rows, w.Cols)
-		tensor.MatMul32Into(fm, z, w)
-		o := tensor.NewMatrix32(fm.Rows, fm.Cols)
-		csr.SpMM32Into(o, fm)
-		for i, v := range o.Data {
-			if v < 0 {
-				o.Data[i] = 0
-			}
-		}
-		outs[t] = o
-		z = o
-		total += w.Cols
-	}
-	cat := tensor.NewMatrix32(x.Rows, total)
-	off := 0
-	for _, o := range outs {
-		for i := 0; i < o.Rows; i++ {
-			copy(cat.Row(i)[off:off+o.Cols], o.Row(i))
-		}
-		off += o.Cols
-	}
+	cat := f.conv.forward32(csr, x)
 
 	var vol *nn.Volume32
 	if f.cfg.Pooling == SortPooling {
@@ -192,6 +175,195 @@ func (f *Frozen32) PredictBatch(as []*acfg.ACFG, workers int) ([][]float64, erro
 	}
 	wg.Wait()
 	return out, nil
+}
+
+// freezeWeights32 copies a slice of float64 weight params into immutable
+// float32 matrices.
+func freezeWeights32(ps []*nn.Param) []*tensor.Matrix32 {
+	out := make([]*tensor.Matrix32, len(ps))
+	for i, p := range ps {
+		out[i] = tensor.NewMatrix32From(p.Value)
+	}
+	return out
+}
+
+// relu32InPlace clamps negatives to zero.
+func relu32InPlace(m *tensor.Matrix32) {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// hconcat32 concatenates the per-layer outputs into Z^{1:h}.
+func hconcat32(rows int, outs []*tensor.Matrix32) *tensor.Matrix32 {
+	total := 0
+	for _, o := range outs {
+		total += o.Cols
+	}
+	cat := tensor.NewMatrix32(rows, total)
+	off := 0
+	for _, o := range outs {
+		for i := 0; i < o.Rows; i++ {
+			copy(cat.Row(i)[off:off+o.Cols], o.Row(i))
+		}
+		off += o.Cols
+	}
+	return cat
+}
+
+// gcnConv32 is the frozen default (paper-rule) backend:
+// Z_{t+1} = relu(P·Z_t·W_t).
+type gcnConv32 struct {
+	w []*tensor.Matrix32
+}
+
+func (s *GraphConvStack) freeze32() frozenConv32 {
+	return &gcnConv32{w: freezeWeights32(s.Params())}
+}
+
+func (g *gcnConv32) forward32(csr *graph.CSR, x *tensor.Matrix32) *tensor.Matrix32 {
+	z := x
+	outs := make([]*tensor.Matrix32, len(g.w))
+	for t, w := range g.w {
+		fm := tensor.NewMatrix32(z.Rows, w.Cols)
+		tensor.MatMul32Into(fm, z, w)
+		o := tensor.NewMatrix32(fm.Rows, fm.Cols)
+		csr.SpMM32Into(o, fm)
+		relu32InPlace(o)
+		outs[t] = o
+		z = o
+	}
+	return hconcat32(x.Rows, outs)
+}
+
+// sageConv32 is the frozen SAGE-mean backend:
+// Z_{t+1} = relu(Z_t·W_self + (P·Z_t)·W_nbr).
+type sageConv32 struct {
+	self []*tensor.Matrix32
+	nbr  []*tensor.Matrix32
+}
+
+func (s *SAGEStack) freeze32() frozenConv32 {
+	return &sageConv32{self: freezeWeights32(s.Self), nbr: freezeWeights32(s.Nbr)}
+}
+
+func (g *sageConv32) forward32(csr *graph.CSR, x *tensor.Matrix32) *tensor.Matrix32 {
+	z := x
+	outs := make([]*tensor.Matrix32, len(g.self))
+	for t := range g.self {
+		agg := tensor.NewMatrix32(z.Rows, z.Cols)
+		csr.SpMM32Into(agg, z)
+		o := tensor.NewMatrix32(z.Rows, g.self[t].Cols)
+		tensor.MatMul32Into(o, z, g.self[t])
+		fn := tensor.NewMatrix32(z.Rows, g.nbr[t].Cols)
+		tensor.MatMul32Into(fn, agg, g.nbr[t])
+		for i, v := range fn.Data {
+			o.Data[i] += v
+		}
+		relu32InPlace(o)
+		outs[t] = o
+		z = o
+	}
+	return hconcat32(x.Rows, outs)
+}
+
+// tagConv32 is the frozen TAG-k backend:
+// Z_{t+1} = relu(Σ_j P^j·Z_t·W_{t,j}).
+type tagConv32 struct {
+	hops int
+	w    [][]*tensor.Matrix32
+}
+
+func (s *TAGStack) freeze32() frozenConv32 {
+	w := make([][]*tensor.Matrix32, len(s.Weights))
+	for t, layer := range s.Weights {
+		w[t] = freezeWeights32(layer)
+	}
+	return &tagConv32{hops: s.Hops, w: w}
+}
+
+func (g *tagConv32) forward32(csr *graph.CSR, x *tensor.Matrix32) *tensor.Matrix32 {
+	z := x
+	outs := make([]*tensor.Matrix32, len(g.w))
+	for t, layer := range g.w {
+		pre := tensor.NewMatrix32(z.Rows, layer[0].Cols)
+		tensor.MatMul32Into(pre, z, layer[0])
+		hj := z
+		for j := 1; j <= g.hops; j++ {
+			next := tensor.NewMatrix32(hj.Rows, hj.Cols)
+			csr.SpMM32Into(next, hj)
+			hj = next
+			fj := tensor.NewMatrix32(pre.Rows, pre.Cols)
+			tensor.MatMul32Into(fj, hj, layer[j])
+			for i, v := range fj.Data {
+				pre.Data[i] += v
+			}
+		}
+		relu32InPlace(pre)
+		outs[t] = pre
+		z = pre
+	}
+	return hconcat32(x.Rows, outs)
+}
+
+// attnConv32 is the frozen single-head dot-product attention backend.
+type attnConv32 struct {
+	w []*tensor.Matrix32
+}
+
+func (s *AttnStack) freeze32() frozenConv32 {
+	return &attnConv32{w: freezeWeights32(s.Weights)}
+}
+
+func (g *attnConv32) forward32(csr *graph.CSR, x *tensor.Matrix32) *tensor.Matrix32 {
+	n := csr.N()
+	z := x
+	outs := make([]*tensor.Matrix32, len(g.w))
+	for t, w := range g.w {
+		hm := tensor.NewMatrix32(z.Rows, w.Cols)
+		tensor.MatMul32Into(hm, z, w)
+		scale := float32(1 / math.Sqrt(float64(w.Cols)))
+		pre := tensor.NewMatrix32(n, w.Cols)
+		scores := make([]float32, 0, 16)
+		for i := 0; i < n; i++ {
+			cols, _ := csr.Row(i)
+			scores = scores[:0]
+			hi := hm.Row(i)
+			maxS := float32(math.Inf(-1))
+			for _, j := range cols {
+				hj := hm.Row(j)
+				dot := float32(0)
+				for c, v := range hi {
+					dot += v * hj[c]
+				}
+				sij := dot * scale
+				scores = append(scores, sij)
+				if sij > maxS {
+					maxS = sij
+				}
+			}
+			sum := float32(0)
+			for e := range scores {
+				ex := float32(math.Exp(float64(scores[e] - maxS)))
+				scores[e] = ex
+				sum += ex
+			}
+			orow := pre.Row(i)
+			for e, j := range cols {
+				a := scores[e] / sum
+				hj := hm.Row(j)
+				for c, v := range hj {
+					orow[c] += a * v
+				}
+			}
+		}
+		relu32InPlace(pre)
+		outs[t] = pre
+		z = pre
+	}
+	return hconcat32(x.Rows, outs)
 }
 
 // weightedVertices32 is the frozen WeightedVertices head layer.

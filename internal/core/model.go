@@ -39,7 +39,7 @@ type Model struct {
 	// and equal Fingerprint() produce bit-identical predictions.
 	Version string
 
-	conv     *GraphConvStack
+	conv     ConvBackend
 	sort     *SortPool
 	head     *nn.Sequential
 	scaler   *Scaler
@@ -85,7 +85,7 @@ func NewModel(cfg Config, trainSizes []int) (*Model, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &Model{Config: cfg}
-	m.conv = NewGraphConvStack(rng, cfg.AttrDim, cfg.ConvSizes)
+	m.conv = newConvBackend(rng, &cfg)
 	d := cfg.TotalConvWidth()
 
 	switch cfg.Pooling {
@@ -357,12 +357,12 @@ func (m *Model) NumParameters() int {
 // describe summarizes the model variant for logs.
 func (m *Model) describe() string {
 	if m.sort != nil {
-		return fmt.Sprintf("DGCNN[%v k=%d head=%v conv=%v params=%d]",
-			m.Config.Pooling, m.K, m.Config.Head, m.Config.ConvSizes, m.NumParameters())
+		return fmt.Sprintf("DGCNN[%v k=%d head=%v conv=%s%v params=%d]",
+			m.Config.Pooling, m.K, m.Config.Head, m.conv.Name(), m.Config.ConvSizes, m.NumParameters())
 	}
 	gh, gw := m.Config.AMPGrid()
-	return fmt.Sprintf("DGCNN[%v grid=%dx%d conv=%v params=%d]",
-		m.Config.Pooling, gh, gw, m.Config.ConvSizes, m.NumParameters())
+	return fmt.Sprintf("DGCNN[%v grid=%dx%d conv=%s%v params=%d]",
+		m.Config.Pooling, gh, gw, m.conv.Name(), m.Config.ConvSizes, m.NumParameters())
 }
 
 // String implements fmt.Stringer.

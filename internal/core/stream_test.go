@@ -75,18 +75,25 @@ func sameHistory(t *testing.T, a, b *History) {
 	}
 }
 
-// TestTrainStreamMatchesTrain pins the streaming determinism contract: for
-// the same sample sequence, TrainStream over an in-memory SampleSource
-// produces the SAME loss curves and serialized parameters as Train.
+// TestTrainStreamMatchesTrain pins the streaming determinism contract for
+// every conv backend: for the same sample sequence, TrainStream over an
+// in-memory SampleSource produces the SAME loss curves and serialized
+// parameters as Train — the contract is a property of the trainer, not of
+// any particular backend's numerics.
 func TestTrainStreamMatchesTrain(t *testing.T) {
-	train, val, cfg := streamFixture(t)
+	for _, name := range ConvBackendNames() {
+		t.Run(name, func(t *testing.T) {
+			train, val, cfg := streamFixture(t)
+			cfg.Conv = name
 
-	histA, bytesA := trainBytes(t, cfg, train, val)
-	histB, bytesB := trainStreamBytes(t, cfg, train, train.Sizes(), val)
+			histA, bytesA := trainBytes(t, cfg, train, val)
+			histB, bytesB := trainStreamBytes(t, cfg, train, train.Sizes(), val)
 
-	sameHistory(t, histA, histB)
-	if !bytes.Equal(bytesA, bytesB) {
-		t.Fatal("streaming training diverged from in-memory training (serialized models differ)")
+			sameHistory(t, histA, histB)
+			if !bytes.Equal(bytesA, bytesB) {
+				t.Fatal("streaming training diverged from in-memory training (serialized models differ)")
+			}
+		})
 	}
 }
 
@@ -94,9 +101,18 @@ func TestTrainStreamMatchesTrain(t *testing.T) {
 // written to a committed corpus segment, re-read record by record through a
 // corpus.Source during training, and still produce bit-identical parameters
 // to in-memory training. This is the property that lets production train
-// from the durable corpus without materializing it.
+// from the durable corpus without materializing it. The non-default conv
+// backends ride the same table — production fine-tunes whichever backend a
+// checkpoint selects, so segment streaming must be exact for all of them.
 func TestTrainStreamFromSegments(t *testing.T) {
+	for _, name := range []string{"", "sage", "tag"} {
+		t.Run(name, func(t *testing.T) { testTrainStreamFromSegments(t, name) })
+	}
+}
+
+func testTrainStreamFromSegments(t *testing.T, backend string) {
 	train, val, cfg := streamFixture(t)
+	cfg.Conv = backend
 
 	dir := t.TempDir()
 	w, err := corpus.NewWriter(dir, 1)

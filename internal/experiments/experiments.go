@@ -378,6 +378,67 @@ func FormatTable2(res *Table2Result, top int) string {
 	return sb.String()
 }
 
+// ConvSweepRow is one (corpus, backend) cell of the graph-convolution
+// backend comparison.
+type ConvSweepRow struct {
+	Corpus   string
+	Backend  string
+	Accuracy float64
+	MeanNLL  float64
+	MacroF1  float64
+}
+
+// ConvBackendSweep cross-validates every registered graph-convolution
+// backend on both synthetic corpora. Each corpus keeps its sweep-selected
+// hyperparameters (mskConfig / yanConfig) with only cfg.Conv varied, so the
+// comparison isolates the convolution rule itself; within a corpus every
+// backend sees identical folds and seeds.
+func ConvBackendSweep(o Options) ([]ConvSweepRow, error) {
+	o = o.withDefaults(240)
+	corpora := []struct {
+		name string
+		load func(malgen.Options) (*dataset.Dataset, error)
+		cfg  func(Options, int) core.Config
+	}{
+		{"MSKCFG", malgen.MSKCFG, mskConfig},
+		{"YANCFG", malgen.YANCFG, yanConfig},
+	}
+	var rows []ConvSweepRow
+	for _, c := range corpora {
+		d, err := c.load(o.corpusOpts())
+		if err != nil {
+			return nil, err
+		}
+		for _, backend := range core.ConvBackendNames() {
+			o.logf("conv sweep: %s × %s", c.name, backend)
+			cfg := c.cfg(o, d.NumClasses())
+			cfg.Conv = backend
+			cv, err := runMAGIC(o, d, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: conv sweep %s/%s: %w", c.name, backend, err)
+			}
+			rows = append(rows, ConvSweepRow{
+				Corpus:   c.name,
+				Backend:  backend,
+				Accuracy: cv.Mean.Accuracy,
+				MeanNLL:  cv.Mean.MeanNLL,
+				MacroF1:  cv.Mean.MacroF1(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatConvSweep renders the backend comparison table.
+func FormatConvSweep(rows []ConvSweepRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-8s %10s %10s %10s\n", "Corpus", "Backend", "Accuracy", "MeanNLL", "MacroF1")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %-8s %9.2f%% %10.4f %10.4f\n", r.Corpus, r.Backend, 100*r.Accuracy, r.MeanNLL, r.MacroF1)
+	}
+	return sb.String()
+}
+
 // Overhead reports the Section V-E execution measurements: mean ACFG
 // construction time, training time per instance and prediction time per
 // instance.

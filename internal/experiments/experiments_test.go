@@ -137,6 +137,38 @@ func TestTable2Quick(t *testing.T) {
 	}
 }
 
+func TestConvBackendSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-scale test")
+	}
+	o := quick(70)
+	o.Epochs = 3
+	rows, err := ConvBackendSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 corpora × every registered backend, MSKCFG rows first.
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		seen[r.Corpus+"/"+r.Backend] = true
+		if r.Accuracy <= 0 || r.Accuracy > 1 {
+			t.Fatalf("%s/%s accuracy %v", r.Corpus, r.Backend, r.Accuracy)
+		}
+	}
+	for _, key := range []string{"MSKCFG/gcn", "MSKCFG/attn", "YANCFG/sage", "YANCFG/tag"} {
+		if !seen[key] {
+			t.Errorf("missing sweep cell %s", key)
+		}
+	}
+	text := FormatConvSweep(rows)
+	if !strings.Contains(text, "Backend") || !strings.Contains(text, "gcn") {
+		t.Fatalf("format: %s", text)
+	}
+}
+
 func TestMeasureOverhead(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training-scale test")

@@ -91,6 +91,15 @@ func (c *CSR) N() int { return c.n }
 // NNZ returns the number of stored nonzeros.
 func (c *CSR) NNZ() int { return len(c.col) }
 
+// Row returns row i's column indices (strictly ascending) and weights as
+// views into the operator's storage. Callers must treat both slices as
+// read-only; the attention conv backend walks rows this way to visit each
+// vertex's augmented-adjacency neighborhood in a fixed order.
+func (c *CSR) Row(i int) ([]int, []float64) {
+	lo, hi := c.rowptr[i], c.rowptr[i+1]
+	return c.col[lo:hi], c.val[lo:hi]
+}
+
 // checkSpMM validates one sparse-dense product's operands. dst must not
 // alias x: the kernels zero or overwrite dst while still reading x.
 func (c *CSR) checkSpMM(dst, x *tensor.Matrix, op string) {

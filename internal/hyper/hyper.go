@@ -22,6 +22,7 @@ type Grid struct {
 	PoolingTypes   []core.PoolingType
 	PoolingRatios  []float64
 	ConvSizes      [][]int
+	ConvBackends   []string        // graph-convolution backends (core.ConvBackendNames)
 	Heads          []core.HeadType // sort-pooling remaining layers
 	Conv2DChannels []int           // adaptive-pooling head
 	Conv1DChannels [][2]int        // conv1d head
@@ -71,20 +72,23 @@ func SmallGrid() Grid {
 // the head, Conv1D and Conv2D settings only vary where applicable.
 func (g Grid) Enumerate(base core.Config) []core.Config {
 	var out []core.Config
-	for _, pt := range orDefaultPooling(g.PoolingTypes, base.Pooling) {
-		for _, ratio := range orDefaultF(g.PoolingRatios, base.PoolingRatio) {
-			for _, sizes := range orDefaultSizes(g.ConvSizes, base.ConvSizes) {
-				for _, drop := range orDefaultF(g.DropoutRates, base.DropoutRate) {
-					for _, batch := range orDefaultI(g.BatchSizes, base.BatchSize) {
-						for _, wd := range orDefaultF(g.WeightDecays, base.WeightDecay) {
-							common := base
-							common.Pooling = pt
-							common.PoolingRatio = ratio
-							common.ConvSizes = sizes
-							common.DropoutRate = drop
-							common.BatchSize = batch
-							common.WeightDecay = wd
-							out = append(out, g.expandHead(common)...)
+	for _, conv := range orDefaultStr(g.ConvBackends, base.Conv) {
+		for _, pt := range orDefaultPooling(g.PoolingTypes, base.Pooling) {
+			for _, ratio := range orDefaultF(g.PoolingRatios, base.PoolingRatio) {
+				for _, sizes := range orDefaultSizes(g.ConvSizes, base.ConvSizes) {
+					for _, drop := range orDefaultF(g.DropoutRates, base.DropoutRate) {
+						for _, batch := range orDefaultI(g.BatchSizes, base.BatchSize) {
+							for _, wd := range orDefaultF(g.WeightDecays, base.WeightDecay) {
+								common := base
+								common.Conv = conv
+								common.Pooling = pt
+								common.PoolingRatio = ratio
+								common.ConvSizes = sizes
+								common.DropoutRate = drop
+								common.BatchSize = batch
+								common.WeightDecay = wd
+								out = append(out, g.expandHead(common)...)
+							}
 						}
 					}
 				}
@@ -172,8 +176,8 @@ func Search(d *dataset.Dataset, configs []core.Config, opts SearchOptions) ([]Re
 		}
 		r := Result{Config: cfg, CV: cv, ValLoss: cv.Mean.MeanNLL}
 		if opts.Logf != nil {
-			opts.Logf("config %d/%d: %v ratio=%.2f conv=%v loss=%.4f acc=%.4f",
-				ci+1, len(configs), cfg.Pooling, cfg.PoolingRatio, cfg.ConvSizes,
+			opts.Logf("config %d/%d: %v ratio=%.2f backend=%s conv=%v loss=%.4f acc=%.4f",
+				ci+1, len(configs), cfg.Pooling, cfg.PoolingRatio, cfg.ConvName(), cfg.ConvSizes,
 				r.ValLoss, cv.Mean.Accuracy)
 		}
 		return r, nil
@@ -215,6 +219,13 @@ func Search(d *dataset.Dataset, configs []core.Config, opts SearchOptions) ([]Re
 func orDefaultF(vals []float64, def float64) []float64 {
 	if len(vals) == 0 {
 		return []float64{def}
+	}
+	return vals
+}
+
+func orDefaultStr(vals []string, def string) []string {
+	if len(vals) == 0 {
+		return []string{def}
 	}
 	return vals
 }

@@ -78,6 +78,32 @@ func TestEnumerateConditionals(t *testing.T) {
 	}
 }
 
+func TestEnumerateConvBackends(t *testing.T) {
+	base := core.DefaultConfig(3, acfg.NumAttributes)
+	names := core.ConvBackendNames()
+	configs := Grid{ConvBackends: names}.Enumerate(base)
+	if len(configs) != len(names) {
+		t.Fatalf("backend grid enumerates %d configs, want %d", len(configs), len(names))
+	}
+	seen := make(map[string]bool)
+	for i, c := range configs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("config %d invalid: %v", i, err)
+		}
+		seen[c.ConvName()] = true
+	}
+	for _, name := range names {
+		if !seen[name] {
+			t.Errorf("backend %q missing from the enumeration", name)
+		}
+	}
+	// An empty backend dimension must pin the base config's backend, not
+	// multiply the grid.
+	if got := len(Grid{}.Enumerate(base)); got != 1 {
+		t.Fatalf("empty grid enumerates %d configs, want 1", got)
+	}
+}
+
 func tinyCorpus(perClass int) *dataset.Dataset {
 	rng := rand.New(rand.NewSource(3))
 	d := dataset.New([]string{"a", "b"})

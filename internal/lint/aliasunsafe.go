@@ -75,8 +75,14 @@ func runAliasUnsafe(mc *ModuleContext, rep *Reporter) {
 					continue
 				}
 				// Wrapper calls: the callee's summary says positions
-				// (dst, src) reach a kernel's conflicting operands.
+				// (dst, src) reach a kernel's conflicting operands. An
+				// interface method (a backend Forward dispatched through
+				// its interface) inherits the joined contracts of its
+				// module implementations.
 				cs := mc.Summaries[cf.callee]
+				if cs == nil {
+					cs = mc.IfaceSummary(cf.callee)
+				}
 				if cs == nil {
 					continue
 				}

@@ -10,10 +10,19 @@ import (
 // (one per *types.Func with a body in the loaded units); edges are the
 // statically resolvable calls between them — plain calls, method calls on
 // concrete receivers, deferred calls, and go statements. Calls through
-// interfaces or function values have no static callee and contribute no
-// edge: the interprocedural facts are therefore may-miss, never may-lie,
-// which is the right polarity for a lint gate (a missing edge can hide a
-// finding, it cannot invent one).
+// function values have no static callee and contribute no edge: those facts
+// are may-miss, never may-lie, which is the right polarity for a lint gate
+// (a missing edge can hide a finding, it cannot invent one).
+//
+// Calls through interface methods are resolved closed-world instead: the
+// module is the whole program, so Impls maps every interface method to the
+// module-declared concrete methods implementing it, and an interface call
+// contributes an edge to each implementation. Backend-style entry points —
+// core.ConvBackend.Forward/Backward being the motivating case — therefore
+// stay visible to the hot-path rules even when every call site dispatches
+// through the interface. The resolution over-approximates (every
+// implementation, not the one dynamically selected), which the rules built
+// on it accept for the allocation and alias facts.
 //
 // SCCs returns Tarjan's strongly connected components in bottom-up order —
 // every component is emitted after all components it calls into — so a
@@ -35,6 +44,10 @@ type FuncNode struct {
 type CallGraph struct {
 	// Nodes maps every declared function object to its node.
 	Nodes map[*types.Func]*FuncNode
+	// Impls maps each interface method declared in the module to the
+	// module-declared concrete methods implementing its interface, in
+	// declaration order (closed-world dynamic-dispatch resolution).
+	Impls map[*types.Func][]*types.Func
 	// SCCs lists the strongly connected components callees-first: for any
 	// edge a→b with a and b in different components, b's component appears
 	// before a's.
@@ -64,8 +77,16 @@ func BuildCallGraph(res *Result) *CallGraph {
 		}
 	}
 
+	g.Impls = buildImpls(res, g.Nodes, order)
+
 	for _, n := range order {
 		seen := map[*FuncNode]bool{}
+		addEdge := func(target *FuncNode) {
+			if !seen[target] {
+				seen[target] = true
+				n.Callees = append(n.Callees, target)
+			}
+		}
 		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
 			call, ok := node.(*ast.CallExpr)
 			if !ok {
@@ -75,9 +96,16 @@ func BuildCallGraph(res *Result) *CallGraph {
 			if callee == nil {
 				return true
 			}
-			if target, ok := g.Nodes[callee]; ok && !seen[target] {
-				seen[target] = true
-				n.Callees = append(n.Callees, target)
+			if target, ok := g.Nodes[callee]; ok {
+				addEdge(target)
+				return true
+			}
+			// Interface call: edges to every implementation, so the summary
+			// fixpoint sees implementations before their dynamic callers.
+			for _, impl := range g.Impls[callee] {
+				if target, ok := g.Nodes[impl]; ok {
+					addEdge(target)
+				}
 			}
 			return true
 		})
@@ -85,6 +113,92 @@ func BuildCallGraph(res *Result) *CallGraph {
 
 	g.SCCs = tarjanSCC(order)
 	return g
+}
+
+// buildImpls resolves dynamic dispatch closed-world: for every non-generic
+// interface type declared in the loaded units, it finds the named receiver
+// types (of declared methods) whose pointer or value method set satisfies
+// the interface, and maps each interface method object to the concrete
+// methods that implement it. Only methods with a declared body (a node in
+// the graph) are recorded — promoted methods from outside the module cannot
+// carry summaries anyway.
+func buildImpls(res *Result, nodes map[*types.Func]*FuncNode, order []*FuncNode) map[*types.Func][]*types.Func {
+	impls := map[*types.Func][]*types.Func{}
+
+	// Named receiver types, in declaration order of their first method.
+	var recvTypes []*types.Named
+	seenRecv := map[*types.Named]bool{}
+	for _, n := range order {
+		sig, ok := n.Fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		nt := namedOf(sig.Recv().Type())
+		if nt == nil || nt.TypeParams().Len() > 0 || seenRecv[nt] {
+			continue
+		}
+		seenRecv[nt] = true
+		recvTypes = append(recvTypes, nt)
+	}
+
+	addImpl := func(im, cm *types.Func) {
+		for _, have := range impls[im] {
+			if have == cm {
+				return
+			}
+		}
+		impls[im] = append(impls[im], cm)
+	}
+
+	for _, u := range res.Units {
+		for _, file := range u.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					tn, ok := u.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := tn.Type().(*types.Named)
+					if !ok || named.TypeParams().Len() > 0 {
+						continue
+					}
+					iface, ok := named.Underlying().(*types.Interface)
+					if !ok || iface.NumMethods() == 0 {
+						continue
+					}
+					for _, nt := range recvTypes {
+						ptr := types.NewPointer(nt)
+						if !types.Implements(ptr, iface) && !types.Implements(nt, iface) {
+							continue
+						}
+						for k := 0; k < iface.NumMethods(); k++ {
+							im := iface.Method(k)
+							sel := types.NewMethodSet(ptr).Lookup(im.Pkg(), im.Name())
+							if sel == nil {
+								continue
+							}
+							cm, ok := sel.Obj().(*types.Func)
+							if !ok {
+								continue
+							}
+							if _, declared := nodes[cm]; declared {
+								addImpl(im, cm)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return impls
 }
 
 // tarjanSCC computes strongly connected components over the Callees edges.

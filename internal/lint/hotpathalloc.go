@@ -134,10 +134,18 @@ func runHotPathAlloc(mc *ModuleContext, rep *Reporter) {
 				// Transitive leg: a module-internal callee whose summary
 				// says an allocating constructor is reachable from it —
 				// unless the path runs through a workspace checkout.
+				// Interface methods (a conv backend's Forward/Backward
+				// dispatched through core.ConvBackend, say) resolve to the
+				// joined facts of their module implementations, so dynamic
+				// dispatch cannot exempt a backend from the contract.
 				if _, stop := matchCallee(id, allocStopCallees); stop {
 					return true
 				}
-				if s := mc.Summaries[fn]; s != nil && s.Allocates {
+				s := mc.Summaries[fn]
+				if s == nil {
+					s = mc.IfaceSummary(fn)
+				}
+				if s != nil && s.Allocates {
 					rep.Report("hotpathalloc", call.Pos(),
 						"%s transitively allocates (reaches %s) inside %s; use a workspace checkout and the *Into kernels (or //lint:ignore hotpathalloc with a reason)",
 						fn.Name(), s.AllocCallee, name)

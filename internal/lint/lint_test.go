@@ -69,9 +69,9 @@ func TestGoldenPackages(t *testing.T) {
 		"replicacopy_ok":       {},
 		"floatcmp_bad":         {"floatcmp": 2},
 		"floatcmp_ok":          {},
-		"hotpathalloc_bad":     {"hotpathalloc": 9},
+		"hotpathalloc_bad":     {"hotpathalloc": 11},
 		"hotpathalloc_ok":      {},
-		"aliasunsafe_bad":      {"aliasunsafe": 4},
+		"aliasunsafe_bad":      {"aliasunsafe": 5},
 		"aliasunsafe_ok":       {},
 		"frozenmut_bad":        {"frozenmut": 4},
 		"frozenmut_ok":         {},

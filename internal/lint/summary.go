@@ -30,10 +30,14 @@ import (
 //     they flow — possibly through wrapper layers — into the destination
 //     and a source operand of an aliasing-unsafe *Into kernel.
 //
-// Summaries are deliberately may-miss: calls through interfaces or
-// function values contribute nothing, so a fact can be absent but never
-// wrong. Rules built on them (aliasunsafe, frozenmut, goroutinehygiene,
-// hotpathalloc) inherit that polarity.
+// Summaries are deliberately may-miss for calls through function values:
+// those contribute nothing, so a fact can be absent but never wrong. Calls
+// through interface methods resolve closed-world instead (CallGraph.Impls):
+// the Allocates and AliasPairs facts join across every module
+// implementation, so dispatching a backend's Forward/Backward through an
+// interface cannot hide an allocation or an alias contract. The join is
+// restricted to those two fact families — ObservesSync and WritesPos keep
+// the strict may-miss polarity the rules built on them assume.
 
 // Summary is the per-function fact record.
 type Summary struct {
@@ -264,6 +268,35 @@ func (mc *ModuleContext) seedNode(n *FuncNode) {
 	}
 }
 
+// IfaceSummary joins the interface-resolvable facts (Allocates and
+// AliasPairs) of every module implementation of an interface method.
+// Returns nil when fn is not a module interface method, has no declared
+// implementations, or no implementation carries either fact.
+func (mc *ModuleContext) IfaceSummary(fn *types.Func) *Summary {
+	impls := mc.Graph.Impls[fn]
+	if len(impls) == 0 {
+		return nil
+	}
+	out := &Summary{}
+	for _, impl := range impls {
+		is := mc.Summaries[impl]
+		if is == nil {
+			continue
+		}
+		if is.Allocates && !out.Allocates {
+			out.Allocates = true
+			out.AllocCallee = is.AllocCallee
+		}
+		for _, pr := range is.AliasPairs {
+			out.addAliasPair(pr[0], pr[1])
+		}
+	}
+	if !out.Allocates && len(out.AliasPairs) == 0 {
+		return nil
+	}
+	return out
+}
+
 // propagateNode folds callee summaries into n's summary; reports change.
 func (mc *ModuleContext) propagateNode(n *FuncNode) bool {
 	s := mc.Summaries[n.Fn]
@@ -271,6 +304,11 @@ func (mc *ModuleContext) propagateNode(n *FuncNode) bool {
 	changed := false
 	for _, cf := range mc.calls[n.Fn] {
 		cs := mc.Summaries[cf.callee]
+		if cs == nil {
+			// Interface-dispatched call: join the closed-world facts
+			// across implementations (nil again when there are none).
+			cs = mc.IfaceSummary(cf.callee)
+		}
 		if cs == nil {
 			continue // outside the loaded pattern set, or no body
 		}

@@ -1,5 +1,5 @@
 // Package aliasunsafe_bad is a magic-lint golden case for the aliasunsafe
-// rule. Expected findings: 4.
+// rule. Expected findings: 5.
 package aliasunsafe_bad
 
 import "repro/internal/lint/testdata/src/aliasunsafe_bad/internal/tensor"

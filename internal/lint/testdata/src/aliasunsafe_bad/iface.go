@@ -1,0 +1,25 @@
+package aliasunsafe_bad
+
+import "repro/internal/lint/testdata/src/aliasunsafe_bad/internal/tensor"
+
+// ConvBackend mirrors the core backend interface: a destination-passing
+// Forward selected at runtime, so call sites dispatch dynamically.
+type ConvBackend interface {
+	Forward(dst, x *tensor.Matrix)
+}
+
+type convImpl struct {
+	w *tensor.Matrix
+}
+
+// Forward forwards its parameters into the kernel's dst and source
+// operands; the must-not-alias contract travels with the interface method.
+func (c *convImpl) Forward(dst, x *tensor.Matrix) {
+	tensor.MatMulInto(dst, x, c.w)
+}
+
+// dispatch violates the inherited contract through the interface: one
+// finding.
+func dispatch(b ConvBackend, m *tensor.Matrix) {
+	b.Forward(m, m) // same value into dst and src of the dispatched Forward
+}

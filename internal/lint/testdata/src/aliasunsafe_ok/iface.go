@@ -1,0 +1,24 @@
+package aliasunsafe_ok
+
+import "repro/internal/lint/testdata/src/aliasunsafe_ok/internal/tensor"
+
+// ConvBackend mirrors the core backend interface with a destination-passing
+// Forward; honoring the inherited contract at dispatch sites is clean.
+type ConvBackend interface {
+	Forward(dst, x *tensor.Matrix)
+}
+
+type convImpl struct {
+	w *tensor.Matrix
+}
+
+func (c *convImpl) Forward(dst, x *tensor.Matrix) {
+	tensor.MatMulInto(dst, x, c.w)
+}
+
+// dispatch passes a fresh checkout as the destination: clean.
+func dispatch(b ConvBackend, m *tensor.Matrix) {
+	ws := &tensor.Workspace{}
+	dst := ws.Matrix(m.Rows, m.Cols)
+	b.Forward(dst, m)
+}

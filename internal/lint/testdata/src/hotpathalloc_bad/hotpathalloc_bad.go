@@ -1,5 +1,5 @@
 // Package hotpathalloc_bad is a magic-lint golden case for the
-// hotpathalloc rule. Expected findings: 9.
+// hotpathalloc rule. Expected findings: 11.
 package hotpathalloc_bad
 
 import (

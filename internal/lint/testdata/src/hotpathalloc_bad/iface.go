@@ -1,0 +1,32 @@
+package hotpathalloc_bad
+
+import (
+	"repro/internal/lint/testdata/src/hotpathalloc_bad/internal/tensor"
+)
+
+// ConvBackend mirrors the core backend interface: the convolution layer is
+// selected at runtime, so every hot-path call to it dispatches dynamically.
+type ConvBackend interface {
+	Forward(x *tensor.Matrix) *tensor.Matrix
+}
+
+type allocBackend struct {
+	w *tensor.Matrix
+}
+
+// Forward on the implementation allocates: one finding (the decl scan
+// covers concrete backends directly).
+func (b *allocBackend) Forward(x *tensor.Matrix) *tensor.Matrix {
+	return tensor.MatMul(x, b.w) // allocating kernel
+}
+
+type Dispatcher struct {
+	conv ConvBackend
+}
+
+// Forward reaches the allocation only through interface dispatch; the
+// closed-world resolution must carry the implementation's fact to this
+// call site: one finding.
+func (d *Dispatcher) Forward(x *tensor.Matrix) *tensor.Matrix {
+	return d.conv.Forward(x) // transitively allocates via allocBackend
+}

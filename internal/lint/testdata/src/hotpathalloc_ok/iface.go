@@ -1,0 +1,34 @@
+package hotpathalloc_ok
+
+import (
+	"repro/internal/lint/testdata/src/hotpathalloc_ok/internal/tensor"
+)
+
+// ConvBackend mirrors the core backend interface; a workspace-disciplined
+// implementation keeps dynamic dispatchers clean.
+type ConvBackend interface {
+	Forward(x *tensor.Matrix) *tensor.Matrix
+}
+
+type wsBackend struct {
+	w  *tensor.Matrix
+	ws *tensor.Workspace
+}
+
+// Forward draws from the workspace and writes through an Into kernel:
+// nothing to flag on the implementation.
+func (b *wsBackend) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := b.ws.Matrix(x.Rows, b.w.Cols)
+	tensor.MatMulInto(out, x, b.w)
+	return out
+}
+
+type Dispatcher struct {
+	conv ConvBackend
+}
+
+// Forward dispatches through the interface; the closed-world resolution
+// finds only clean implementations, so the dispatcher stays clean too.
+func (d *Dispatcher) Forward(x *tensor.Matrix) *tensor.Matrix {
+	return d.conv.Forward(x)
+}
